@@ -1,0 +1,134 @@
+// E14 — Ablations of the design choices DESIGN.md calls out:
+//
+//  (a) weight handling: Algorithm A's d-free solution (efficiency
+//      x = log(D-d-1)/log(D-1)) vs the naive "every weight node copies"
+//      strawman (x = 1). The naive variant is still a valid Pi^{2.5}
+//      output but its node-average degrades — exactly the gap between
+//      Theorem 2's exponent alpha1(x) and the worst-case 1/k.
+//
+//  (b) gamma profile: the Lemma-14/33 geometric profile
+//      gamma_i = t^{2^{i-1}} vs a uniform profile on the unweighted
+//      k-hierarchical 2.5-coloring instance — the optimization is what
+//      buys n^{1/(2k-1)} instead of n^{1/k}.
+//
+//  (c) fast-decomposition early resolution: with the eager A-free
+//      Decline rule (Corollary-47 decay) vs without — the backlog of
+//      unfinished nodes, i.e. the Decline mass's total waiting time.
+#include <cmath>
+#include <cstdio>
+
+#include "algo/apoly.hpp"
+#include "algo/fast_decomp.hpp"
+#include "algo/generic_hier.hpp"
+#include "core/exponents.hpp"
+#include "core/experiment.hpp"
+#include "graph/builders.hpp"
+#include "problems/checkers.hpp"
+#include "problems/labels.hpp"
+
+namespace {
+
+using namespace lcl;
+
+void ablation_weight_handling() {
+  std::printf("(a) weight handling: Algorithm A vs naive all-copy\n");
+  std::printf("  %10s %16s %16s\n", "n", "AlgoA node-avg",
+              "naive node-avg");
+  const double x = core::efficiency_x(5, 2);
+  const auto alphas = core::alpha_profile_poly(x, 2);
+  for (std::int64_t n : {20000, 60000, 180000}) {
+    const auto ell = core::lower_bound_lengths(
+        alphas, static_cast<double>(n), n);
+    auto inst = graph::make_weighted_construction(ell, 5);
+    graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, 3);
+    algo::ApolyOptions o;
+    o.k = 2;
+    o.d = 2;
+    o.gammas.assign(1, std::max<std::int64_t>(2, inst.skeleton_lengths[0]));
+    const auto smart = algo::run_apoly(inst.tree, o);
+    o.naive_all_copy = true;
+    const auto naive = algo::run_apoly(inst.tree, o);
+    const auto cs = problems::check_weighted(
+        inst.tree, 2, 2, problems::Variant::kTwoHalf, smart.output);
+    const auto cn = problems::check_weighted(
+        inst.tree, 2, 2, problems::Variant::kTwoHalf, naive.output);
+    std::printf("  %10d %16.2f %16.2f %s%s\n", inst.tree.size(),
+                smart.node_averaged, naive.node_averaged,
+                cs.ok ? "" : "SMART-INVALID ", cn.ok ? "" : "NAIVE-INVALID");
+  }
+  std::printf("  -> the d-free machinery keeps most weight from waiting; "
+              "naive copies pay the full level-k latency.\n\n");
+}
+
+void ablation_gamma_profile() {
+  // Each profile faces its own adversarial instance: the adversary sets
+  // the level-1 path length to exactly gamma_1, the Decline threshold
+  // (Lemma 20's dichotomy), so the algorithm pays its full budget.
+  std::printf("(b) gamma profile on unweighted 2.5-coloring (k = 2), "
+              "adversarial instances\n");
+  std::printf("  %10s %22s %22s\n", "n", "geometric (vs n^{1/3})",
+              "uniform n^{1/2}");
+  for (std::int64_t n : {30000, 120000, 480000}) {
+    auto run_with_gamma = [&](std::int64_t gamma1) {
+      std::vector<std::int64_t> ell = {gamma1,
+                                       std::max<std::int64_t>(2, n / gamma1)};
+      auto inst = graph::make_hierarchical_lower_bound(ell);
+      graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, 5);
+      algo::GenericOptions opt;
+      opt.variant = problems::Variant::kTwoHalf;
+      opt.k = 2;
+      opt.gammas.assign(1, gamma1);
+      return algo::run_generic(inst.tree, opt).node_averaged;
+    };
+    const std::int64_t g_geo = algo::gammas_for_25(n, 2)[0];
+    const std::int64_t g_uni = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(
+               std::llround(std::sqrt(static_cast<double>(n)))));
+    std::printf("  %10lld %22.2f %22.2f\n", static_cast<long long>(n),
+                run_with_gamma(g_geo), run_with_gamma(g_uni));
+  }
+  std::printf("  -> tuned to t = n^{1/3} the worst instance costs "
+              "~n^{1/3}; a uniform n^{1/2} threshold hands the adversary "
+              "a ~n^{1/2} bill (Lemma 14 vs the naive profile).\n\n");
+}
+
+void ablation_early_resolution() {
+  std::printf("(c) fast-decomposition early resolution (Corollary 47)\n");
+  std::printf("  %10s %20s %20s\n", "w", "backlog/w with",
+              "backlog/w without");
+  for (graph::NodeId w : {4000, 16000, 64000, 256000}) {
+    graph::Tree t = graph::make_balanced_weight_tree(w, 7);
+    std::vector<char> part(static_cast<std::size_t>(w), 1);
+    std::vector<char> is_a(static_cast<std::size_t>(w), 0);
+    is_a[0] = 1;
+    t.set_input(0, static_cast<int>(problems::DFreeInput::kA));
+    for (graph::NodeId v = 1; v < w; ++v) {
+      t.set_input(v, static_cast<int>(problems::DFreeInput::kW));
+    }
+    auto backlog = [](const algo::FastDecompPlan& plan) {
+      std::int64_t total = 0;
+      for (std::int64_t c : plan.unfinished_after_iteration) total += c;
+      return total;
+    };
+    const auto with_rule =
+        algo::run_fast_decomposition(t, part, is_a, 3, true);
+    const auto without_rule =
+        algo::run_fast_decomposition(t, part, is_a, 3, false);
+    std::printf("  %10d %20.2f %20.2f\n", w,
+                static_cast<double>(backlog(with_rule)) / w,
+                static_cast<double>(backlog(without_rule)) / w);
+  }
+  std::printf("  -> per-node backlog (= average waiting of the Decline "
+              "mass) stays O(1) with the rule and grows like the tree "
+              "depth (log w) without it.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E14: ablations ==\n\n");
+  ablation_weight_handling();
+  ablation_gamma_profile();
+  ablation_early_resolution();
+  return 0;
+}

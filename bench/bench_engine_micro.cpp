@@ -1,0 +1,100 @@
+// Substrate micro-benchmarks (google-benchmark): engine round
+// throughput, instance construction, decomposition, and the full
+// solver pipelines at fixed sizes. These guard the "simulation cost =
+// O(sum of termination rounds)" property the experiment benches rely on.
+#include <benchmark/benchmark.h>
+
+#include "algo/apoly.hpp"
+#include "algo/generic_hier.hpp"
+#include "core/exponents.hpp"
+#include "core/experiment.hpp"
+#include "decomp/rake_compress.hpp"
+#include "graph/builders.hpp"
+#include "problems/levels.hpp"
+
+namespace {
+
+using namespace lcl;
+
+void BM_EngineWavePath(benchmark::State& state) {
+  const graph::NodeId n = static_cast<graph::NodeId>(state.range(0));
+  graph::Tree t = graph::make_path(n);
+  graph::assign_ids(t, graph::IdScheme::kShuffled, 1);
+  for (auto _ : state) {
+    algo::GenericOptions o;
+    o.variant = problems::Variant::kTwoHalf;
+    o.k = 1;
+    const auto stats = algo::run_generic(t, o);
+    benchmark::DoNotOptimize(stats.total_rounds);
+    state.counters["node_rounds"] =
+        static_cast<double>(stats.total_rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineWavePath)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_LinialPath(benchmark::State& state) {
+  const graph::NodeId n = static_cast<graph::NodeId>(state.range(0));
+  graph::Tree t = graph::make_path(n);
+  graph::assign_ids(t, graph::IdScheme::kShuffled, 2);
+  for (auto _ : state) {
+    algo::GenericOptions o;
+    o.variant = problems::Variant::kThreeHalf;
+    o.k = 1;
+    const auto stats = algo::run_generic(t, o);
+    benchmark::DoNotOptimize(stats.worst_case);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LinialPath)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_Levels(benchmark::State& state) {
+  const graph::Tree t = graph::make_random_tree(
+      static_cast<graph::NodeId>(state.range(0)), 4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problems::compute_levels(t, 3));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_Levels)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_RakeCompress(benchmark::State& state) {
+  const graph::Tree t = graph::make_random_tree(
+      static_cast<graph::NodeId>(state.range(0)), 4, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decomp::rake_compress(t, 1, 4, true));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_RakeCompress)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_WeightedConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    auto inst = graph::make_weighted_construction({40, 400}, 5);
+    benchmark::DoNotOptimize(inst.tree.size());
+  }
+}
+BENCHMARK(BM_WeightedConstruction);
+
+void BM_ApolyEndToEnd(benchmark::State& state) {
+  const double x = core::efficiency_x(5, 2);
+  const auto alphas = core::alpha_profile_poly(x, 2);
+  const auto ell = core::lower_bound_lengths(alphas, 20000.0, 20000);
+  auto inst = graph::make_weighted_construction(ell, 5);
+  graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, 5);
+  for (auto _ : state) {
+    algo::ApolyOptions o;
+    o.k = 2;
+    o.d = 2;
+    o.gammas = core::gammas_from_profile(
+        alphas, static_cast<double>(inst.tree.size()));
+    const auto stats = algo::run_apoly(inst.tree, o);
+    benchmark::DoNotOptimize(stats.node_averaged);
+  }
+  state.SetItemsProcessed(state.iterations() * inst.tree.size());
+}
+BENCHMARK(BM_ApolyEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// E12 — Corollary 17 / Linial's bound (the substrate of every level-k
+// phase): 3-coloring a path costs Theta(log* n) rounds, worst case AND
+// node-averaged (Feuilloley's Lemma 16 transfers the bound). The real
+// Cole-Vishkin schedule is nearly flat in n (log* of any feasible n is
+// tiny); the virtual-log* pad then maps Lambda linearly onto rounds,
+// which is what the log*-regime benches lean on.
+#include <cstdio>
+
+#include "algo/cole_vishkin.hpp"
+#include "algo/generic_hier.hpp"
+#include "graph/builders.hpp"
+#include "local/logstar.hpp"
+#include "problems/checkers.hpp"
+
+int main() {
+  using namespace lcl;
+  std::printf("== E12: Linial / Corollary 17 — 3-coloring paths in "
+              "Theta(log* n) ==\n\n");
+
+  std::printf("Real Cole-Vishkin (no pad): rounds vs n\n");
+  std::printf("  %10s %10s %12s %12s %10s\n", "n", "log*(n)",
+              "CV schedule", "worst-case", "node-avg");
+  for (graph::NodeId n : {100, 1000, 10000, 100000, 1000000}) {
+    graph::Tree t = graph::make_path(n);
+    graph::assign_ids(t, graph::IdScheme::kShuffled,
+                      static_cast<std::uint64_t>(n));
+    algo::GenericOptions o;
+    o.variant = problems::Variant::kThreeHalf;
+    o.k = 1;
+    const auto stats = algo::run_generic(t, o);
+    const auto check =
+        problems::check_three_coloring(t, stats.primaries());
+    std::printf("  %10d %10d %12zu %12lld %10.2f %s\n", n,
+                local::log_star(static_cast<std::uint64_t>(n)),
+                algo::cv_schedule(n).size(),
+                static_cast<long long>(stats.worst_case),
+                stats.node_averaged, check.ok ? "" : "INVALID");
+  }
+
+  std::printf("\nVirtual log* (pad Lambda): rounds vs Lambda at n = "
+              "20000\n");
+  std::printf("  %10s %12s %10s\n", "Lambda", "worst-case", "node-avg");
+  for (std::int64_t lambda : {0, 16, 64, 256, 1024}) {
+    graph::Tree t = graph::make_path(20000);
+    graph::assign_ids(t, graph::IdScheme::kShuffled, 9);
+    algo::GenericOptions o;
+    o.variant = problems::Variant::kThreeHalf;
+    o.k = 1;
+    o.symmetry_pad = lambda;
+    const auto stats = algo::run_generic(t, o);
+    std::printf("  %10lld %12lld %10.2f\n",
+                static_cast<long long>(lambda),
+                static_cast<long long>(stats.worst_case),
+                stats.node_averaged);
+  }
+
+  std::printf("\n2-coloring contrast (the Theta(n) substrate):\n");
+  for (graph::NodeId n : {1000, 4000, 16000}) {
+    graph::Tree t = graph::make_path(n);
+    algo::GenericOptions o;
+    o.variant = problems::Variant::kTwoHalf;
+    o.k = 1;
+    const auto stats = algo::run_generic(t, o);
+    std::printf("  n=%6d: node-avg %10.1f (n/4 = %.1f)\n", n,
+                stats.node_averaged, n / 4.0);
+  }
+  return 0;
+}

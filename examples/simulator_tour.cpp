@@ -1,0 +1,118 @@
+// Example: writing your own LOCAL algorithm against the engine API.
+//
+// Implements a tiny protocol — every node computes its distance to the
+// nearest leaf — to show the Program / NodeCtx surface: registers,
+// termination, synchronous semantics, and per-node round accounting.
+//
+// Protocol: leaves publish 0 and terminate; every other node publishes
+// 1 + min(neighbor values) and terminates as soon as that value is
+// provably final (a value v is final once round >= v, because the wave
+// from the nearest leaf advances one hop per round). Termination time =
+// the answer itself, so the node-averaged complexity is the average
+// leaf-distance — small on bushy trees, Theta(n) on paths. The same
+// who-waits-longest structure is what the paper's weight gadgets
+// amplify.
+//
+//   $ ./examples/simulator_tour
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "graph/builders.hpp"
+#include "graph/tree.hpp"
+#include "local/engine.hpp"
+
+namespace {
+
+using namespace lcl;
+using graph::NodeId;
+
+constexpr std::int64_t kUnknown = -1;
+
+// Register layout: [0] = current distance-to-nearest-leaf estimate
+// (kUnknown until a wave arrives).
+class NearestLeaf final : public local::Program {
+ public:
+  void on_init(local::NodeCtx& ctx) override {
+    if (ctx.degree() <= 1) {
+      ctx.publish({0});
+      ctx.terminate(0);
+      return;
+    }
+    ctx.publish({kUnknown});
+  }
+
+  void on_round(local::NodeCtx& ctx) override {
+    std::int64_t best = kUnknown;
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const local::Register& reg = ctx.peek(p);
+      if (reg.empty() || reg[0] == kUnknown) continue;
+      if (best == kUnknown || reg[0] < best) best = reg[0];
+    }
+    if (best == kUnknown) return;
+    const std::int64_t mine = best + 1;
+    ctx.publish({mine});
+    // The wave from the nearest leaf travels one hop per round, so a
+    // value of `mine` arriving by round `mine` is final.
+    if (ctx.round() >= mine) ctx.terminate(static_cast<int>(mine));
+  }
+};
+
+// Centralized reference for validation.
+std::vector<int> leaf_distances(const graph::Tree& t) {
+  std::vector<int> dist(static_cast<std::size_t>(t.size()), -1);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.degree(v) <= 1) {
+      dist[static_cast<std::size_t>(v)] = 0;
+      frontier.push_back(v);
+    }
+  }
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (NodeId u : t.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(u)] < 0) {
+          dist[static_cast<std::size_t>(u)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+}  // namespace
+
+int main() {
+  for (const std::string name : {"path", "caterpillar", "random", "star"}) {
+    graph::Tree t = name == "path"          ? graph::make_path(401)
+                    : name == "caterpillar" ? graph::make_caterpillar(150, 2)
+                    : name == "random" ? graph::make_random_tree(2000, 4, 5)
+                                       : graph::make_star(64);
+    local::Engine engine(t);
+    NearestLeaf program;
+    const auto stats = engine.run(program);
+
+    // Validate against the centralized reference.
+    const auto reference = leaf_distances(t);
+    bool ok = true;
+    for (NodeId v = 0; v < t.size(); ++v) {
+      ok = ok && stats.output[static_cast<std::size_t>(v)].primary ==
+                     reference[static_cast<std::size_t>(v)];
+    }
+    const int max_depth =
+        *std::max_element(reference.begin(), reference.end());
+    std::printf("%-12s n=%5d: max leaf-distance %3d, worst-case %4lld "
+                "rounds, node-avg %7.2f, correct=%s\n",
+                name.c_str(), t.size(), max_depth,
+                static_cast<long long>(stats.worst_case),
+                stats.node_averaged, ok ? "yes" : "NO");
+  }
+  std::printf("\nThe path's node-average is Theta(n) while the bushy\n"
+              "trees finish in O(1) on average — the worst-case vs\n"
+              "node-averaged gap this paper's landscape classifies.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "algo/cole_vishkin.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace lcl::algo {
+
+std::int64_t next_prime(std::int64_t x) {
+  if (x <= 2) return 2;
+  if (x % 2 == 0) ++x;
+  for (;; x += 2) {
+    bool prime = true;
+    for (std::int64_t p = 3; p * p <= x; p += 2) {
+      if (x % p == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) return x;
+  }
+}
+
+std::int64_t cv_prime_for(std::int64_t num_colors) {
+  // Smallest q >= 5 with q^3 >= num_colors.
+  std::int64_t lo = 5;
+  while (lo * lo * lo < num_colors) ++lo;
+  return next_prime(lo);
+}
+
+std::vector<std::int64_t> cv_schedule(std::int64_t num_colors) {
+  std::vector<std::int64_t> schedule;
+  std::int64_t k = num_colors;
+  for (;;) {
+    const std::int64_t q = cv_prime_for(k);
+    const std::int64_t next = q * q;
+    if (next >= k && !schedule.empty()) break;  // reached the fixed point
+    schedule.push_back(q);
+    if (next >= k) break;  // single non-shrinking step for tiny palettes
+    k = next;
+  }
+  // Ensure the palette ends at exactly 25: once k <= 125, q = 5 and one
+  // more step lands on 25. Add it if the loop stopped earlier.
+  if (k > 25) {
+    while (k > 25) {
+      const std::int64_t q = cv_prime_for(k);
+      schedule.push_back(q);
+      const std::int64_t next = q * q;
+      if (next >= k) break;
+      k = next;
+    }
+  }
+  return schedule;
+}
+
+std::int64_t cv_reduce(std::int64_t q, std::int64_t own, std::int64_t nbr1,
+                       std::int64_t nbr2) {
+  if (own < 0 || own >= q * q * q) {
+    throw std::invalid_argument("cv_reduce: color out of range");
+  }
+  auto poly_eval = [q](std::int64_t c, std::int64_t x) {
+    const std::int64_t a0 = c % q;
+    const std::int64_t a1 = (c / q) % q;
+    const std::int64_t a2 = (c / (q * q)) % q;
+    return (a0 + a1 * x + a2 * x * x) % q;
+  };
+  // Find x in F_q whose point (x, f_own(x)) is hit by neither neighbor's
+  // polynomial. Each distinct neighbor polynomial agrees with ours on at
+  // most 2 points, so among q >= 5 points one is free.
+  for (std::int64_t x = 0; x < q; ++x) {
+    const std::int64_t y = poly_eval(own, x);
+    if (nbr1 >= 0 && nbr1 != own && poly_eval(nbr1, x) == y) continue;
+    if (nbr2 >= 0 && nbr2 != own && poly_eval(nbr2, x) == y) continue;
+    // Note: a neighbor color equal to our own would make every point
+    // collide; proper colorings never present that case.
+    if (nbr1 == own || nbr2 == own) {
+      throw std::invalid_argument("cv_reduce: neighbor shares our color");
+    }
+    return x * q + y;
+  }
+  throw std::logic_error("cv_reduce: no free point (q too small?)");
+}
+
+std::int64_t cv_total_rounds(std::int64_t num_colors) {
+  return static_cast<std::int64_t>(cv_schedule(num_colors).size()) +
+         (25 - 3);
+}
+
+}  // namespace lcl::algo

@@ -1,0 +1,51 @@
+// Linial-style iterated color reduction on paths (max degree 2).
+//
+// One reduction round maps a proper coloring with K colors to a proper
+// coloring with q^2 colors, where q is a small prime chosen from K, using
+// the polynomial cover-free family from Linial's paper: color c < q^3 is
+// identified with a degree-<=2 polynomial f_c over F_q, and the set
+// S_c = { x*q + f_c(x) : x in F_q } subset [q^2] satisfies
+// |S_a ∩ S_b| <= 2 for a != b. With q >= 5, a node with at most two
+// neighbors can always pick an element of its own set hit by neither
+// neighbor's set; the picked element is the new color.
+//
+// Iterating shrinks any 64-bit ID space to at most 25 colors in O(log* K)
+// rounds (the full schedule is a deterministic function of K that all
+// nodes compute locally), after which at most 22 rounds of one-class-at-a-
+// time greedy recoloring reach 3 colors. Total: Theta(log* K) rounds —
+// the engine of Corollary 10 / Corollary 17 / the level-k phase of the
+// 3.5-coloring algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lcl::algo {
+
+/// Smallest prime >= x (x <= ~2^21 in practice here).
+[[nodiscard]] std::int64_t next_prime(std::int64_t x);
+
+/// The prime used to reduce a K-coloring in one round: the smallest prime
+/// q >= 5 with q^3 >= K (so every color < K encodes as a polynomial).
+[[nodiscard]] std::int64_t cv_prime_for(std::int64_t num_colors);
+
+/// The full reduction schedule for an initial palette of `num_colors`:
+/// the sequence of primes q_1, q_2, ... applied per round until the
+/// palette size reaches its fixed point of 25 (= 5^2) colors.
+/// Schedule length is Theta(log* num_colors).
+[[nodiscard]] std::vector<std::int64_t> cv_schedule(std::int64_t num_colors);
+
+/// One Cole-Vishkin/Linial step: given own color and the colors of at most
+/// two neighbors (pass -1 for absent neighbors), all < q^3 and pairwise
+/// distinct from own where present, returns a new color < q^2 guaranteed
+/// to differ from the neighbors' new colors computed with the same q.
+[[nodiscard]] std::int64_t cv_reduce(std::int64_t q, std::int64_t own,
+                                     std::int64_t nbr1, std::int64_t nbr2);
+
+/// Number of rounds of the complete 3-coloring procedure from a palette of
+/// `num_colors`: schedule length + (25 - 3) greedy class-elimination
+/// rounds. Deterministic and globally known, so all nodes can run in
+/// lockstep without termination detection.
+[[nodiscard]] std::int64_t cv_total_rounds(std::int64_t num_colors);
+
+}  // namespace lcl::algo

@@ -1,0 +1,64 @@
+#include "algo/connect_paths.hpp"
+
+#include <deque>
+
+namespace lcl::algo {
+
+using graph::NodeId;
+using graph::Tree;
+
+void mark_connect_paths(const Tree& tree,
+                        const std::vector<char>& participates,
+                        const std::vector<char>& is_a, std::int64_t bound,
+                        const std::function<void(NodeId)>& mark) {
+  const NodeId n = tree.size();
+  std::vector<NodeId> parent(static_cast<std::size_t>(n),
+                             graph::kInvalidNode);
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n), -1);
+  std::vector<NodeId> touched;
+
+  for (NodeId a = 0; a < n; ++a) {
+    if (!participates[static_cast<std::size_t>(a)] ||
+        !is_a[static_cast<std::size_t>(a)]) {
+      continue;
+    }
+    // Depth-bounded BFS from a with parent recording.
+    touched.clear();
+    dist[static_cast<std::size_t>(a)] = 0;
+    touched.push_back(a);
+    std::deque<NodeId> q{a};
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop_front();
+      if (dist[static_cast<std::size_t>(u)] == bound) continue;
+      for (NodeId w : tree.neighbors(u)) {
+        if (!participates[static_cast<std::size_t>(w)] ||
+            dist[static_cast<std::size_t>(w)] >= 0) {
+          continue;
+        }
+        dist[static_cast<std::size_t>(w)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        parent[static_cast<std::size_t>(w)] = u;
+        touched.push_back(w);
+        q.push_back(w);
+      }
+    }
+    // Walk back from every other A-node in the ball (each unordered pair
+    // is processed twice — idempotent marking keeps that harmless).
+    for (NodeId b : touched) {
+      if (b == a || !is_a[static_cast<std::size_t>(b)]) continue;
+      NodeId cur = b;
+      while (cur != graph::kInvalidNode) {
+        mark(cur);
+        cur = parent[static_cast<std::size_t>(cur)];
+      }
+    }
+    // Reset scratch state.
+    for (NodeId v : touched) {
+      dist[static_cast<std::size_t>(v)] = -1;
+      parent[static_cast<std::size_t>(v)] = graph::kInvalidNode;
+    }
+  }
+}
+
+}  // namespace lcl::algo

@@ -1,0 +1,22 @@
+// Shared Connect-path marking: the nodes lying on a path of length
+// <= bound between two input-A nodes (used by Algorithm A's Connect rule
+// and the distance-5 pre-step of the adapted fast decomposition).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/tree.hpp"
+
+namespace lcl::algo {
+
+/// Calls `mark(v)` for every participating node v on the unique tree
+/// path (endpoints included) between two input-A nodes at distance
+/// <= bound from each other, paths through participants only.
+void mark_connect_paths(const graph::Tree& tree,
+                        const std::vector<char>& participates,
+                        const std::vector<char>& is_a, std::int64_t bound,
+                        const std::function<void(graph::NodeId)>& mark);
+
+}  // namespace lcl::algo

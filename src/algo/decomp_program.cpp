@@ -1,0 +1,204 @@
+#include "algo/decomp_program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcl::algo {
+
+namespace {
+
+using graph::NodeId;
+
+// Register layout: [alive, snapshot_degree, tgt0, d0, tgt1, d1].
+constexpr std::size_t kRegSize = 6;
+constexpr std::int64_t kNone = -1;
+
+}  // namespace
+
+int encode_layer(const decomp::LayerAssignment& a) {
+  const int kind_bit = a.kind == decomp::LayerKind::kCompress ? 1 : 0;
+  return (a.layer << 13) | (a.sublayer << 1) | kind_bit;
+}
+
+decomp::LayerAssignment decode_layer(int encoded) {
+  decomp::LayerAssignment a;
+  a.kind = (encoded & 1) ? decomp::LayerKind::kCompress
+                         : decomp::LayerKind::kRake;
+  a.sublayer = (encoded >> 1) & ((1 << 12) - 1);
+  a.layer = encoded >> 13;
+  return a;
+}
+
+DecompositionProgram::DecompositionProgram(const graph::Tree& tree,
+                                           int gamma, int ell)
+    : tree_(tree), gamma_(gamma), ell_(ell) {
+  if (gamma < 1 || ell < 2) {
+    throw std::invalid_argument("decomp program: gamma >= 1, ell >= 2");
+  }
+  state_.assign(static_cast<std::size_t>(tree.size()), State{});
+}
+
+void DecompositionProgram::on_init(local::NodeCtx& ctx) {
+  ctx.publish({1, ctx.degree(), kNone, kNone, kNone, kNone});
+}
+
+void DecompositionProgram::on_round(local::NodeCtx& ctx) {
+  const NodeId v = ctx.node();
+  State& st = state_[static_cast<std::size_t>(v)];
+  const std::int64_t r = ctx.round();
+  const std::int64_t iter = (r - 1) / window();
+  const std::int64_t offset = (r - 1) % window();
+  const int layer = static_cast<int>(iter) + 1;
+
+  auto neighbor_alive = [&](int p) {
+    const local::Register& reg = ctx.peek(p);
+    return !reg.empty() && reg[0] == 1;
+  };
+  auto neighbor_snapshot_degree = [&](int p) {
+    const local::Register& reg = ctx.peek(p);
+    return reg.size() >= 2 ? reg[1] : kNone;
+  };
+
+  // ---- Rake sub-steps ------------------------------------------------
+  if (offset < 2 * gamma_) {
+    const bool snapshot_round = (offset % 2 == 0);
+    const int substep = static_cast<int>(offset / 2) + 1;
+    if (snapshot_round) {
+      int deg = 0;
+      for (int p = 0; p < ctx.degree(); ++p) deg += neighbor_alive(p);
+      st.snapshot_degree = deg;
+      ctx.publish({1, deg, kNone, kNone, kNone, kNone});
+      return;
+    }
+    // Decision round.
+    if (st.snapshot_degree > 1) return;
+    bool deferred = false;
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (!neighbor_alive(p)) continue;
+      const std::int64_t nd = neighbor_snapshot_degree(p);
+      const NodeId u = tree_.neighbors(v)[static_cast<std::size_t>(p)];
+      if (nd >= 0 && nd <= 1 && tree_.local_id(u) < tree_.local_id(v)) {
+        deferred = true;
+        break;
+      }
+    }
+    if (deferred) return;
+    ctx.publish({0, kNone, kNone, kNone, kNone, kNone});
+    st.alive = false;
+    ctx.terminate(encode_layer(
+        {decomp::LayerKind::kRake, layer, substep}));
+    return;
+  }
+
+  // ---- Compress step --------------------------------------------------
+  const std::int64_t c = offset - 2 * gamma_;
+  if (c == 0) {
+    // Snapshot for the compress phase.
+    int deg = 0;
+    for (int p = 0; p < ctx.degree(); ++p) deg += neighbor_alive(p);
+    st.snapshot_degree = deg;
+    ctx.publish({1, deg, kNone, kNone, kNone, kNone});
+    return;
+  }
+  if (st.snapshot_degree != 2) return;  // not a chain node this window
+
+  if (c == 1) {
+    // Identify chain ports (alive neighbors with snapshot degree 2) and
+    // seed the end-distance waves.
+    st.chain_ports[0] = st.chain_ports[1] = -1;
+    st.dist_left = st.dist_right = -1;
+    int found = 0;
+    for (int p = 0; p < ctx.degree() && found < 2; ++p) {
+      if (neighbor_alive(p) && neighbor_snapshot_degree(p) == 2) {
+        st.chain_ports[found++] = p;
+      }
+    }
+    // A missing chain neighbor on a side makes this node the end there.
+    if (st.chain_ports[0] < 0) st.dist_left = 0;
+    if (st.chain_ports[1] < 0) st.dist_right = 0;
+  }
+
+  auto side_dist = [&](int s) {
+    return s == 0 ? st.dist_left : st.dist_right;
+  };
+  auto set_side_dist = [&](int s, int d) {
+    (s == 0 ? st.dist_left : st.dist_right) = d;
+  };
+
+  if (c >= 2 && c <= 1 + ell_) {
+    // Receive: the entry a chain neighbor addressed to us carries its
+    // distance to the end on its far side; ours is one more (saturated).
+    for (int s = 0; s < 2; ++s) {
+      const int p = st.chain_ports[s];
+      if (p < 0 || side_dist(s) >= 0) continue;
+      const local::Register& reg = ctx.peek(p);
+      if (reg.size() != kRegSize) continue;
+      for (int e = 0; e < 2; ++e) {
+        const std::size_t base = 2 + 2 * static_cast<std::size_t>(e);
+        if (reg[base] == static_cast<std::int64_t>(v)) {
+          set_side_dist(s, std::min<int>(
+                               ell_, static_cast<int>(reg[base + 1]) + 1));
+        }
+      }
+    }
+  }
+  if (c >= 1 && c <= 1 + ell_) {
+    // Publish toward each chain port the distance on the *other* side.
+    local::Register out = {1, st.snapshot_degree, kNone, kNone, kNone,
+                           kNone};
+    bool any = false;
+    for (int s = 0; s < 2; ++s) {
+      const int p = st.chain_ports[s];
+      const int other = side_dist(1 - s);
+      if (p < 0 || other < 0) continue;
+      const std::size_t base = 2 + 2 * static_cast<std::size_t>(s);
+      out[base] = tree_.neighbors(v)[static_cast<std::size_t>(p)];
+      out[base + 1] = other;
+      any = true;
+    }
+    if (any) ctx.publish(std::move(out));
+    return;
+  }
+
+  if (c == 2 + ell_) {
+    // Decision: saturated end distances; unknown means >= ell.
+    const int dl = st.dist_left >= 0 ? st.dist_left : ell_;
+    const int dr = st.dist_right >= 0 ? st.dist_right : ell_;
+    if (dl + dr >= ell_ - 1) {
+      ctx.publish({0, kNone, kNone, kNone, kNone, kNone});
+      st.alive = false;
+      ctx.terminate(encode_layer(
+          {decomp::LayerKind::kCompress, layer, 0}));
+    }
+    return;
+  }
+}
+
+DistributedDecomposition run_distributed_decomposition(
+    const graph::Tree& tree, int gamma, int ell) {
+  DecompositionProgram program(tree, gamma, ell);
+  local::Engine engine(tree);
+  DistributedDecomposition out;
+  out.stats = engine.run(program);
+  out.decomposition.gamma = gamma;
+  out.decomposition.ell = ell;
+  out.decomposition.relaxed = true;
+  out.decomposition.assignment.resize(
+      static_cast<std::size_t>(tree.size()));
+  out.decomposition.assign_step.resize(
+      static_cast<std::size_t>(tree.size()));
+  int max_layer = 0;
+  for (graph::NodeId v = 0; v < tree.size(); ++v) {
+    const auto a =
+        decode_layer(out.stats.output[static_cast<std::size_t>(v)].primary);
+    out.decomposition.assignment[static_cast<std::size_t>(v)] = a;
+    out.decomposition.assign_step[static_cast<std::size_t>(v)] =
+        static_cast<int>(
+            out.stats.termination_round[static_cast<std::size_t>(v)]);
+    max_layer = std::max(max_layer, a.layer);
+  }
+  out.decomposition.num_layers = max_layer;
+  return out;
+}
+
+}  // namespace lcl::algo

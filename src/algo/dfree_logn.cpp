@@ -1,0 +1,154 @@
+#include "algo/dfree_logn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "algo/connect_paths.hpp"
+
+namespace lcl::algo {
+
+namespace {
+
+using problems::WeightOut;
+
+std::int64_t ceil_log_base(std::int64_t n, std::int64_t base) {
+  std::int64_t r = 0;
+  std::int64_t v = 1;
+  while (v < n) {
+    v *= base;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace
+
+DFreeResult run_dfree_algorithm_a(const Tree& tree,
+                                  const std::vector<char>& participates,
+                                  const std::vector<char>& is_a, int d,
+                                  std::int64_t n_for_radius) {
+  if (d < 1) throw std::invalid_argument("dfree: d >= 1");
+  const NodeId n = tree.size();
+  DFreeResult res;
+  res.output.assign(static_cast<std::size_t>(n), -1);
+  res.copy_root.assign(static_cast<std::size_t>(n), graph::kInvalidNode);
+  res.copy_depth.assign(static_cast<std::size_t>(n), -1);
+
+  const std::int64_t logd = ceil_log_base(n_for_radius, d + 1);
+  const std::int64_t ball_radius = logd + 1;
+  const std::int64_t connect_bound = 2 * logd + 2;
+  res.view_radius = 3 * logd + 3;
+
+  auto in = [&](NodeId v) {
+    return participates[static_cast<std::size_t>(v)] != 0;
+  };
+
+  // Default: every participant Declines unless a later rule overrides.
+  for (NodeId v = 0; v < n; ++v) {
+    if (in(v)) {
+      res.output[static_cast<std::size_t>(v)] =
+          static_cast<int>(WeightOut::kDecline);
+    }
+  }
+
+  // --- Connect rule -------------------------------------------------
+  // Exactly the nodes on a path of length <= connect_bound between two
+  // input-A nodes output Connect: BFS from each A-node to the bound with
+  // parent recording, then walk back the unique tree path from every
+  // other A-node discovered. (Within a weight component, balls from
+  // distinct A-nodes stay inside the component, so the total work is
+  // linear for the paper's instances.)
+  mark_connect_paths(tree, participates, is_a, connect_bound,
+                     [&](NodeId v) {
+                       res.output[static_cast<std::size_t>(v)] =
+                           static_cast<int>(WeightOut::kConnect);
+                     });
+
+  // --- A* assignment around each non-Connect A-node ------------------
+  for (NodeId v = 0; v < n; ++v) {
+    if (!in(v) || !is_a[static_cast<std::size_t>(v)]) continue;
+    if (res.output[static_cast<std::size_t>(v)] ==
+        static_cast<int>(WeightOut::kConnect)) {
+      continue;
+    }
+
+    // BFS ball of radius ball_radius rooted at v; record parents so the
+    // ball is a rooted tree.
+    std::vector<NodeId> order;           // BFS order
+    std::vector<NodeId> parent_of;       // parallel to order
+    std::vector<int> depth_of;           // parallel to order
+    std::vector<std::int64_t> ball_idx(  // node -> index in order, or -1
+        static_cast<std::size_t>(n), -1);
+    {
+      std::deque<NodeId> q{v};
+      ball_idx[static_cast<std::size_t>(v)] = 0;
+      order.push_back(v);
+      parent_of.push_back(graph::kInvalidNode);
+      depth_of.push_back(0);
+      std::size_t head = 0;
+      while (head < order.size()) {
+        const NodeId u = order[head];
+        const int du = depth_of[head];
+        ++head;
+        if (du == ball_radius) continue;
+        for (NodeId w : tree.neighbors(u)) {
+          if (!in(w) || ball_idx[static_cast<std::size_t>(w)] >= 0) continue;
+          ball_idx[static_cast<std::size_t>(w)] =
+              static_cast<std::int64_t>(order.size());
+          order.push_back(w);
+          parent_of.push_back(u);
+          depth_of.push_back(du + 1);
+        }
+      }
+    }
+
+    // Subtree sizes within the ball (children are later in BFS order).
+    std::vector<std::int64_t> subtree(order.size(), 1);
+    for (std::size_t i = order.size(); i-- > 1;) {
+      const std::int64_t pi =
+          ball_idx[static_cast<std::size_t>(parent_of[i])];
+      subtree[static_cast<std::size_t>(pi)] += subtree[i];
+    }
+    std::vector<std::vector<std::size_t>> children(order.size());
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      children[static_cast<std::size_t>(
+                   ball_idx[static_cast<std::size_t>(parent_of[i])])]
+          .push_back(i);
+    }
+
+    // A*: root Copy; every Copy node Declines its min(d, #children)
+    // heaviest child subtrees, keeps the rest Copy.
+    std::deque<std::size_t> q{0};
+    res.output[static_cast<std::size_t>(v)] =
+        static_cast<int>(WeightOut::kCopy);
+    res.copy_root[static_cast<std::size_t>(v)] = v;
+    res.copy_depth[static_cast<std::size_t>(v)] = 0;
+    while (!q.empty()) {
+      const std::size_t i = q.front();
+      q.pop_front();
+      auto kids = children[i];
+      std::sort(kids.begin(), kids.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return subtree[a] > subtree[b];
+                });
+      const std::size_t to_decline =
+          std::min<std::size_t>(static_cast<std::size_t>(d), kids.size());
+      for (std::size_t c = to_decline; c < kids.size(); ++c) {
+        const std::size_t child = kids[c];
+        const NodeId w = order[child];
+        res.output[static_cast<std::size_t>(w)] =
+            static_cast<int>(WeightOut::kCopy);
+        res.copy_root[static_cast<std::size_t>(w)] = v;
+        res.copy_depth[static_cast<std::size_t>(w)] = depth_of[child];
+        q.push_back(child);
+      }
+      // Declined subtrees stay at the default Decline.
+    }
+  }
+
+  return res;
+}
+
+}  // namespace lcl::algo

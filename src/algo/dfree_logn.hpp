@@ -1,0 +1,58 @@
+// Algorithm A for the d-free weight problem (Section 7): the O(log n)
+// view-based solver used by A_poly.
+//
+// The rules are functions of the (3*ceil(log_{d+1} n)+3)-hop view of a
+// node, so the computation here is performed centrally and the engine
+// wrapper charges every node the view radius in rounds (locality-
+// equivalent; see DESIGN.md, Simulator design).
+//
+//  * Nodes on a path of length <= 2*ceil(log_{d+1} n)+2 between two
+//    input-A nodes output Connect.
+//  * Every other input-A node v runs the constructive A* assignment of
+//    Lemma 37 on its (ceil(log_{d+1} n)+1)-hop ball: v outputs Copy; each
+//    Copy node Declines its min(d, #children) heaviest child subtrees and
+//    keeps the rest Copy (DESIGN.md Substitution 2: A* is the paper's own
+//    analyzed witness for the Copy-minimizing phi).
+//  * Everything else outputs Decline.
+//
+// Lemma 40 then bounds each Copy component by 6 * |ball|^x with
+// x = log(Delta-1-d)/log(Delta-1), which bench_lemma23_dfree measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "problems/labels.hpp"
+
+namespace lcl::problems {
+// fwd
+}
+
+namespace lcl::algo {
+
+using graph::NodeId;
+using graph::Tree;
+
+/// Result of running Algorithm A on the weight subgraph.
+struct DFreeResult {
+  /// Per node: WeightOut cast to int; -1 for nodes outside the instance
+  /// (e.g. Active nodes when run inside a Pi^Z instance).
+  std::vector<int> output;
+  /// Per node: the input-A root of its Copy component, or kInvalidNode.
+  std::vector<NodeId> copy_root;
+  /// Per node: BFS distance from the Copy-component root (-1 if none).
+  std::vector<int> copy_depth;
+  /// The view radius (= rounds charged to Connect/Decline nodes).
+  std::int64_t view_radius = 0;
+};
+
+/// Runs Algorithm A on the subgraph induced by nodes with
+/// `participates[v] != 0`. `is_a[v]` marks input-A nodes (must be a
+/// subset of participants). `n_for_radius` is the n in the radius formula
+/// (pass the global graph size).
+[[nodiscard]] DFreeResult run_dfree_algorithm_a(
+    const Tree& tree, const std::vector<char>& participates,
+    const std::vector<char>& is_a, int d, std::int64_t n_for_radius);
+
+}  // namespace lcl::algo

@@ -1,0 +1,105 @@
+#include "algo/hier_labeling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "decomp/rake_compress.hpp"
+#include "problems/labels.hpp"
+
+namespace lcl::algo {
+
+namespace {
+
+using decomp::LayerKind;
+using graph::NodeId;
+using problems::EdgeDir;
+
+int port_of(const graph::Tree& t, NodeId v, NodeId target) {
+  const auto nb = t.neighbors(v);
+  for (std::size_t p = 0; p < nb.size(); ++p) {
+    if (nb[p] == target) return static_cast<int>(p);
+  }
+  throw std::logic_error("hier_labeling: missing port");
+}
+
+}  // namespace
+
+HierLabeling solve_hierarchical_labeling(const graph::Tree& tree, int k) {
+  if (k < 1) throw std::invalid_argument("hier_labeling: k >= 1");
+  const NodeId n = tree.size();
+
+  // (gamma, 4, k)-decomposition; double gamma until <= k layers.
+  std::int64_t gamma = std::max<std::int64_t>(
+      2, static_cast<std::int64_t>(std::ceil(std::pow(
+             static_cast<double>(std::max<NodeId>(n, 2)), 1.0 / k))));
+  decomp::Decomposition dec;
+  for (;;) {
+    dec = decomp::rake_compress(tree, static_cast<int>(gamma), 4,
+                                /*split_paths=*/true);
+    if (dec.num_layers <= k) break;
+    gamma *= 2;
+  }
+
+  HierLabeling out;
+  out.gamma = gamma;
+  out.layers_used = dec.num_layers;
+  out.labels.assign(static_cast<std::size_t>(n), -1);
+  out.assign_round = dec.assign_step;
+  out.orientation.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    out.orientation[static_cast<std::size_t>(v)].assign(
+        static_cast<std::size_t>(tree.degree(v)), EdgeDir::kNone);
+  }
+  auto orient = [&](NodeId from, NodeId to) {
+    out.orientation[static_cast<std::size_t>(from)]
+                   [static_cast<std::size_t>(port_of(tree, from, to))] =
+                       EdgeDir::kOutgoing;
+    out.orientation[static_cast<std::size_t>(to)]
+                   [static_cast<std::size_t>(port_of(tree, to, from))] =
+                       EdgeDir::kIncoming;
+  };
+  auto key = [&](NodeId v) {
+    return decomp::layer_order_key(
+        dec.assignment[static_cast<std::size_t>(v)]);
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& a = dec.assignment[static_cast<std::size_t>(v)];
+    if (a.kind == LayerKind::kRake) {
+      out.labels[static_cast<std::size_t>(v)] =
+          problems::rake_label(a.layer);
+      for (NodeId u : tree.neighbors(v)) {
+        if (key(u) > key(v)) {
+          orient(v, u);
+          break;  // Definition 71: at most one higher neighbor
+        }
+      }
+      continue;
+    }
+    // Compress segment cell: endpoint iff <= 1 same-layer neighbor.
+    int same = 0;
+    for (NodeId u : tree.neighbors(v)) {
+      const auto& au = dec.assignment[static_cast<std::size_t>(u)];
+      if (au.kind == LayerKind::kCompress && au.layer == a.layer) ++same;
+    }
+    if (same <= 1) {
+      out.labels[static_cast<std::size_t>(v)] =
+          problems::rake_label(a.layer + 1);
+      for (NodeId u : tree.neighbors(v)) {
+        const auto& au = dec.assignment[static_cast<std::size_t>(u)];
+        if (au.kind == LayerKind::kCompress && au.layer == a.layer) {
+          orient(u, v);  // the adjacent interior points at the endpoint
+        } else if (key(u) > key(v)) {
+          orient(v, u);
+        }
+      }
+    } else {
+      out.labels[static_cast<std::size_t>(v)] =
+          problems::compress_label(a.layer);
+    }
+  }
+  return out;
+}
+
+}  // namespace lcl::algo

@@ -1,0 +1,38 @@
+// Standalone solver for the k-hierarchical labeling problem
+// (Definition 63) via the Lemma-65 construction: compute a proper
+// (gamma, 4, k)-decomposition with gamma ~ n^{1/k}, then map
+//   rake layer (i, j)        -> R_i, oriented at the higher neighbor,
+//   compress-chain interiors -> C_i (cells next to an endpoint orient
+//                               toward it),
+//   compress-chain endpoints -> R_{i+1}, oriented at their higher
+//                               neighbor.
+// Worst-case round cost is the decomposition's O(k n^{1/k}) (Lemma 65);
+// `assign_step` provides the per-node round accounting.
+//
+// This is the same mapping the weight-augmented solver (Definition 67)
+// applies on its weight subgraph; the standalone form exposes it for
+// whole trees and for the Definition-63 checker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "problems/checkers.hpp"
+
+namespace lcl::algo {
+
+struct HierLabeling {
+  std::vector<int> labels;  ///< Definition-63 labels (problems::rake_label…)
+  problems::OrientationMap orientation;
+  std::vector<int> assign_round;  ///< peel step per node (round accounting)
+  int layers_used = 0;
+  std::int64_t gamma = 0;
+};
+
+/// Solves k-hierarchical labeling on a whole tree. Throws if no gamma up
+/// to n produces at most k layers (cannot happen for k >= 1).
+[[nodiscard]] HierLabeling solve_hierarchical_labeling(
+    const graph::Tree& tree, int k);
+
+}  // namespace lcl::algo

@@ -1,0 +1,176 @@
+#include "algo/pi35.hpp"
+
+#include <stdexcept>
+
+#include "problems/labels.hpp"
+#include "problems/levels.hpp"
+
+namespace lcl::algo {
+
+namespace {
+
+using graph::NodeId;
+using problems::WeightOut;
+
+std::vector<int> active_levels(const graph::Tree& tree, int k) {
+  std::vector<char> mask(static_cast<std::size_t>(tree.size()), 0);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    mask[static_cast<std::size_t>(v)] =
+        tree.input(v) == static_cast<int>(graph::WeightInput::kActive) ? 1
+                                                                       : 0;
+  }
+  return problems::compute_levels_masked(tree, k, mask);
+}
+
+FastDecompPlan make_plan(const graph::Tree& tree, int d) {
+  const NodeId n = tree.size();
+  std::vector<char> participates(static_cast<std::size_t>(n), 0);
+  std::vector<char> is_a(static_cast<std::size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (tree.input(v) == static_cast<int>(graph::WeightInput::kActive)) {
+      continue;
+    }
+    participates[static_cast<std::size_t>(v)] = 1;
+    for (NodeId u : tree.neighbors(v)) {
+      if (tree.input(u) ==
+          static_cast<int>(graph::WeightInput::kActive)) {
+        is_a[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+  return run_fast_decomposition(tree, participates, is_a, d);
+}
+
+}  // namespace
+
+Pi35Program::Pi35Program(const graph::Tree& tree, Pi35Options options)
+    : tree_(tree),
+      opt_(std::move(options)),
+      generic_(tree,
+               GenericOptions{problems::Variant::kThreeHalf, opt_.k,
+                              opt_.gammas, opt_.id_space,
+                              opt_.symmetry_pad},
+               active_levels(tree, opt_.k)),
+      plan_(make_plan(tree, opt_.d)) {
+  const std::size_t n = static_cast<std::size_t>(tree.size());
+  declined_.assign(n, 0);
+  prune_round_.assign(n, -1);
+  case_of_root_.assign(plan_.components.size(), 0);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (plan_.role[static_cast<std::size_t>(v)] == FdaRole::kDecline) {
+      declined_[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+}
+
+void Pi35Program::on_init(local::NodeCtx& ctx) {
+  if (is_active(ctx.node())) generic_.on_init(ctx);
+}
+
+void Pi35Program::resolve_component(local::NodeCtx& ctx, NodeId root) {
+  const int comp = plan_.comp_of_root[static_cast<std::size_t>(root)];
+  // Case 1 iff some active neighbor has already terminated.
+  bool active_done = false;
+  const auto nb = tree_.neighbors(root);
+  for (std::size_t p = 0; p < nb.size(); ++p) {
+    if (is_active(nb[p]) && ctx.neighbor_terminated(static_cast<int>(p))) {
+      active_done = true;
+      break;
+    }
+  }
+  if (active_done) {
+    case_of_root_[static_cast<std::size_t>(comp)] = 1;
+    return;
+  }
+  // Case 2: prune to C'(v); pruned members decline, one hop per round.
+  case_of_root_[static_cast<std::size_t>(comp)] = 2;
+  const std::vector<char> keep =
+      prune_component(tree_, plan_, comp, opt_.d, declined_);
+  const auto& members =
+      plan_.components[static_cast<std::size_t>(comp)];
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (keep[i]) continue;
+    const NodeId m = members[i];
+    declined_[static_cast<std::size_t>(m)] = 1;
+    prune_round_[static_cast<std::size_t>(m)] =
+        ctx.round() + plan_.comp_depth[static_cast<std::size_t>(m)];
+  }
+}
+
+void Pi35Program::on_round(local::NodeCtx& ctx) {
+  const NodeId v = ctx.node();
+  if (is_active(v)) {
+    generic_.on_round(ctx);
+    return;
+  }
+
+  const FdaRole role = plan_.role[static_cast<std::size_t>(v)];
+  const std::int64_t r = ctx.round();
+
+  switch (role) {
+    case FdaRole::kInactive:
+      throw std::logic_error("pi35: weight node without a role");
+
+    case FdaRole::kConnect:
+    case FdaRole::kDecline: {
+      const int out = role == FdaRole::kConnect
+                          ? static_cast<int>(WeightOut::kConnect)
+                          : static_cast<int>(WeightOut::kDecline);
+      if (r >= plan_.ready_round[static_cast<std::size_t>(v)]) {
+        ctx.terminate(out);
+      }
+      return;
+    }
+
+    case FdaRole::kCopyRoot: {
+      const std::int64_t decide =
+          plan_.ready_round[static_cast<std::size_t>(v)];
+      if (r < decide) return;
+      const int comp = plan_.comp_of_root[static_cast<std::size_t>(v)];
+      if (case_of_root_[static_cast<std::size_t>(comp)] == 0) {
+        resolve_component(ctx, v);
+      }
+      // Flood: adopt the first terminated active neighbor's label.
+      const auto nb = tree_.neighbors(v);
+      for (std::size_t p = 0; p < nb.size(); ++p) {
+        if (!is_active(nb[p])) continue;
+        if (ctx.neighbor_terminated(static_cast<int>(p))) {
+          const int label =
+              ctx.neighbor_output(static_cast<int>(p)).primary;
+          ctx.publish({label});
+          ctx.terminate(static_cast<int>(WeightOut::kCopy), label);
+          ++copies_kept_;
+          return;
+        }
+      }
+      return;
+    }
+
+    case FdaRole::kCopyMember: {
+      // Pruned members decline at their scheduled round.
+      const std::int64_t pr = prune_round_[static_cast<std::size_t>(v)];
+      if (pr >= 0) {
+        if (r >= pr) ctx.terminate(static_cast<int>(WeightOut::kDecline));
+        return;
+      }
+      // Kept members listen for the flood from their parent.
+      const int pp = plan_.flood_parent_port[static_cast<std::size_t>(v)];
+      const local::Register& reg = ctx.peek(pp);
+      if (!reg.empty()) {
+        ctx.publish({reg[0]});
+        ctx.terminate(static_cast<int>(WeightOut::kCopy),
+                      static_cast<int>(reg[0]));
+        ++copies_kept_;
+      }
+      return;
+    }
+  }
+}
+
+local::RunStats run_pi35(const graph::Tree& tree, Pi35Options options) {
+  Pi35Program program(tree, std::move(options));
+  local::Engine engine(tree);
+  return engine.run(program);
+}
+
+}  // namespace lcl::algo

@@ -1,0 +1,54 @@
+#include "bw/constant_good.hpp"
+
+#include <algorithm>
+
+namespace lcl::bw {
+
+ConstantGoodVerdict decide_constant_good(const PathLcl& lcl) {
+  ConstantGoodVerdict verdict;
+
+  const TestingOutcome outcome = testing_procedure(lcl);
+  if (!outcome.good) {
+    verdict.solvable = false;
+    verdict.constant_good = false;
+    verdict.node_averaged_class = "unsolvable on long paths";
+    return verdict;
+  }
+
+  // Every pair of reachable label-sets induces one compress problem Pi';
+  // the function is constant-good iff all of them classify as O(1).
+  PathComplexity worst = PathComplexity::kConstant;
+  auto order = [](PathComplexity c) {
+    switch (c) {
+      case PathComplexity::kConstant: return 0;
+      case PathComplexity::kLogStar: return 1;
+      case PathComplexity::kLinear: return 2;
+      case PathComplexity::kUnsolvable: return 3;
+    }
+    return 3;
+  };
+  for (LabelSet s : outcome.seen) {
+    if (s == 0) continue;
+    for (LabelSet t : outcome.seen) {
+      if (t == 0) continue;
+      const PathLcl compress = with_boundaries(lcl, s, t);
+      const PathComplexity c = classify(compress);
+      if (order(c) > order(worst)) worst = c;
+    }
+  }
+  verdict.worst_compress = worst;
+  verdict.constant_good = (worst == PathComplexity::kConstant);
+  if (verdict.constant_good) {
+    verdict.node_averaged_class = "O(1)";
+  } else if (worst == PathComplexity::kLogStar) {
+    // Theorem 7 + Theorem 11 side: splitting needed, so the node-averaged
+    // complexity is (log* n)^{Omega(1)} and at most O(log* n).
+    verdict.node_averaged_class = "(log* n)^{Theta(1)} (gap: nothing in "
+                                  "omega(1)..(log* n)^{o(1)})";
+  } else {
+    verdict.node_averaged_class = "polynomial or harder";
+  }
+  return verdict;
+}
+
+}  // namespace lcl::bw

@@ -1,0 +1,40 @@
+// The constant-good function test (Definitions 77 and 80, Theorem 7).
+//
+// Section 11 shows: an LCL has O(1) deterministic node-averaged
+// complexity iff a *constant-good* function f_{Pi,infinity} exists — one
+// whose associated compress problem Pi' (labeling arbitrarily long
+// compress paths whose boundary edges are restricted to label-sets in
+// the codomain of g) is solvable in O(1) worst-case rounds. Otherwise
+// compress paths must be split, which costs Theta(log* n), and by the
+// gap theorem nothing lies strictly between.
+//
+// Here the test is realized for path-form LCLs: enumerate the label-sets
+// the testing procedure can produce, and ask — via the decidable path
+// classifier (Lemma 81) — whether every compress problem they induce is
+// O(1)-solvable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bw/label_sets.hpp"
+#include "bw/path_lcl.hpp"
+
+namespace lcl::bw {
+
+/// Verdict of the Theorem-7 decision procedure for a path-form LCL.
+struct ConstantGoodVerdict {
+  bool solvable = true;        ///< a good function exists at all
+  bool constant_good = false;  ///< the compress problems are all O(1)
+  /// The worst compress-problem complexity encountered (the O(log* n)
+  /// cost the solver pays when splitting is needed).
+  PathComplexity worst_compress = PathComplexity::kConstant;
+  /// Resulting node-averaged class per Theorem 7's dichotomy.
+  std::string node_averaged_class;
+};
+
+/// Decides whether `lcl` (as the compress-path problem of a tree LCL)
+/// admits a constant-good function.
+[[nodiscard]] ConstantGoodVerdict decide_constant_good(const PathLcl& lcl);
+
+}  // namespace lcl::bw

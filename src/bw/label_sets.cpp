@@ -1,0 +1,190 @@
+#include "bw/label_sets.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace lcl::bw {
+
+namespace {
+
+/// Boolean adjacency matrix power tooling: walk[a][b] == true iff a path
+/// of exactly `len-1` edges can carry labels a ... b.
+using BoolMatrix = std::vector<LabelSet>;  // row a: bitmask over b
+
+BoolMatrix identity(int alphabet) {
+  BoolMatrix m(static_cast<std::size_t>(alphabet), 0);
+  for (int a = 0; a < alphabet; ++a) m[static_cast<std::size_t>(a)] = 1u << a;
+  return m;
+}
+
+BoolMatrix multiply(const BoolMatrix& x, const BoolMatrix& y, int alphabet) {
+  BoolMatrix out(static_cast<std::size_t>(alphabet), 0);
+  for (int a = 0; a < alphabet; ++a) {
+    LabelSet row = 0;
+    for (int mid = 0; mid < alphabet; ++mid) {
+      if ((x[static_cast<std::size_t>(a)] >> mid) & 1u) {
+        row |= y[static_cast<std::size_t>(mid)];
+      }
+    }
+    out[static_cast<std::size_t>(a)] = row;
+  }
+  return out;
+}
+
+BoolMatrix adjacency(const PathLcl& lcl) { return lcl.adjacent; }
+
+BoolMatrix matrix_power(const PathLcl& lcl, int edges) {
+  BoolMatrix result = identity(lcl.alphabet);
+  BoolMatrix base = adjacency(lcl);
+  int e = edges;
+  while (e > 0) {
+    if (e & 1) result = multiply(result, base, lcl.alphabet);
+    base = multiply(base, base, lcl.alphabet);
+    e >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> maximal_class_pairs(const PathLcl& lcl,
+                                                     int len) {
+  std::vector<std::pair<int, int>> pairs;
+  if (len < 1) return pairs;
+  const BoolMatrix walk = matrix_power(lcl, len - 1);
+  for (int a = 0; a < lcl.alphabet; ++a) {
+    if (!((lcl.left_boundary >> a) & 1u)) continue;
+    for (int b = 0; b < lcl.alphabet; ++b) {
+      if (!((lcl.right_boundary >> b) & 1u)) continue;
+      if ((walk[static_cast<std::size_t>(a)] >> b) & 1u) {
+        pairs.emplace_back(a, b);
+      }
+    }
+  }
+  return pairs;
+}
+
+std::vector<std::pair<int, int>> flexible_class_pairs(const PathLcl& lcl,
+                                                      int min_len) {
+  // A pair feasible at two consecutive lengths stays feasible for every
+  // larger length of matching parity reachable by pumping; requiring
+  // both parities within a window of 2*alphabet covers "all large
+  // lengths".
+  std::vector<std::vector<std::pair<int, int>>> by_len;
+  for (int len = min_len; len <= min_len + 2 * lcl.alphabet + 1; ++len) {
+    by_len.push_back(maximal_class_pairs(lcl, len));
+  }
+  std::vector<std::pair<int, int>> out;
+  for (int a = 0; a < lcl.alphabet; ++a) {
+    for (int b = 0; b < lcl.alphabet; ++b) {
+      bool even_ok = false;
+      bool odd_ok = false;
+      for (std::size_t i = 0; i < by_len.size(); ++i) {
+        const bool present =
+            std::find(by_len[i].begin(), by_len[i].end(),
+                      std::make_pair(a, b)) != by_len[i].end();
+        if (!present) continue;
+        if ((min_len + static_cast<int>(i)) % 2 == 0) even_ok = true;
+        else odd_ok = true;
+      }
+      if (even_ok && odd_ok) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+Rectangle independent_rectangle(const std::vector<std::pair<int, int>>& pairs,
+                                int alphabet) {
+  // Enumerate candidate left-sets from rows: for each subset choice we
+  // only need the "closed" candidates: for left-set A, the best right-set
+  // is the intersection of rows of A. Try A = every subset of rows that
+  // arises as an intersection-support; with alphabet <= 16, iterate over
+  // single rows and their combinations greedily (exact over <= 2^16 is
+  // too slow; rows-lattice suffices for maximal-area rectangles in
+  // practice and is deterministic).
+  std::vector<LabelSet> row(static_cast<std::size_t>(alphabet), 0);
+  for (auto [a, b] : pairs) {
+    row[static_cast<std::size_t>(a)] |= (1u << b);
+  }
+  Rectangle best;
+  std::int64_t best_area = 0;
+  // Candidate right-sets: all distinct intersections of nonempty rows,
+  // built incrementally (there are at most alphabet^2 of them here).
+  std::set<LabelSet> candidates;
+  for (int a = 0; a < alphabet; ++a) {
+    if (row[static_cast<std::size_t>(a)] == 0) continue;
+    std::set<LabelSet> next = candidates;
+    next.insert(row[static_cast<std::size_t>(a)]);
+    for (LabelSet c : candidates) {
+      next.insert(c & row[static_cast<std::size_t>(a)]);
+    }
+    candidates = std::move(next);
+  }
+  for (LabelSet right : candidates) {
+    if (right == 0) continue;
+    LabelSet left = 0;
+    for (int a = 0; a < alphabet; ++a) {
+      if ((row[static_cast<std::size_t>(a)] & right) == right) {
+        left |= (1u << a);
+      }
+    }
+    const std::int64_t area =
+        static_cast<std::int64_t>(__builtin_popcount(left)) *
+        __builtin_popcount(right);
+    if (area > best_area ||
+        (area == best_area &&
+         (left < best.left || (left == best.left && right < best.right)))) {
+      best_area = area;
+      best = {left, right};
+    }
+  }
+  return best;
+}
+
+LabelSet rake_step(const PathLcl& lcl, LabelSet incoming) {
+  LabelSet out = 0;
+  for (int b = 0; b < lcl.alphabet; ++b) {
+    // b is committable iff some a in `incoming` is adjacent to b.
+    if (lcl.adjacent[static_cast<std::size_t>(b)] & incoming) {
+      out |= (1u << b);
+    }
+  }
+  return out;
+}
+
+TestingOutcome testing_procedure(const PathLcl& lcl, int compress_len) {
+  TestingOutcome outcome;
+  std::deque<LabelSet> frontier;
+  auto push = [&](LabelSet s) {
+    if (outcome.seen.insert(s).second) frontier.push_back(s);
+    if (s == 0) outcome.good = false;
+  };
+  // Leaves commit to any boundary-allowed label: the initial sets are
+  // the singletons... in Definition 74 the leaf's outgoing label-set is
+  // everything a degree-1 node can commit to, i.e. the full boundary set.
+  push(lcl.left_boundary);
+  push(lcl.right_boundary);
+
+  while (!frontier.empty() && outcome.good) {
+    ++outcome.iterations;
+    const LabelSet s = frontier.front();
+    frontier.pop_front();
+    // Rake step.
+    push(rake_step(lcl, s));
+    // Compress step against every previously seen set: a long path whose
+    // two sides carry label-sets (s, t) restricts to the canonical
+    // independent rectangle of the flexible class.
+    for (LabelSet t : std::set<LabelSet>(outcome.seen)) {
+      PathLcl constrained = with_boundaries(lcl, s, t);
+      const auto pairs = flexible_class_pairs(constrained, compress_len);
+      const Rectangle rect =
+          independent_rectangle(pairs, lcl.alphabet);
+      push(rect.left);
+      push(rect.right);
+    }
+    if (outcome.iterations > 4096) break;  // bounded procedure
+  }
+  return outcome;
+}
+
+}  // namespace lcl::bw

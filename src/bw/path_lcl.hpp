@@ -1,0 +1,75 @@
+// LCLs on paths in automaton form, and their decidable complexity
+// classification — the machinery behind Section 11's constant-good
+// function test (Lemma 81: O(1)-solvability of path LCLs is decidable).
+//
+// A `PathLcl` labels the *nodes* of a path with labels from a finite
+// alphabet (<= 16), subject to (i) a symmetric adjacency relation over
+// pairs of labels and (ii) sets of labels allowed at the two path
+// endpoints. This captures every path problem used in the paper's
+// Section 11 (3-coloring, 2-coloring, the compress problems Pi' of
+// Definition 77 after label-set restriction).
+//
+// Classification (deterministic, standard automata-lens results for
+// paths; cf. [BBC+19, CSS21] as cited by the paper):
+//   * kConstant  — some label has a self-loop reachable from both
+//     boundary sets within |Sigma| hops: everyone can pump it, O(1).
+//   * kLogStar   — no such loop, but some strongly-connected component of
+//     the adjacency digraph is *flexible* (cycle-length gcd 1): symmetry
+//     breaking alone is needed, Theta(log* n). By Feuilloley's Lemma 16
+//     the node-averaged class coincides with the worst case on paths.
+//   * kLinear    — solvable only with global coordination (e.g.
+//     2-coloring: all cycles even), Theta(n).
+//   * kUnsolvable — no long path admits any labeling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcl::bw {
+
+/// A set of labels as a bitmask (alphabet size <= 16).
+using LabelSet = std::uint32_t;
+
+/// LCL on paths with node outputs and a symmetric adjacency constraint.
+struct PathLcl {
+  int alphabet = 0;                 ///< number of output labels
+  std::vector<LabelSet> adjacent;   ///< adjacent[a] = set of b allowed next to a
+  LabelSet left_boundary = 0;       ///< labels allowed at a path endpoint
+  LabelSet right_boundary = 0;
+  std::string name;
+
+  [[nodiscard]] bool allows(int a, int b) const {
+    return (adjacent[static_cast<std::size_t>(a)] >> b) & 1u;
+  }
+};
+
+enum class PathComplexity {
+  kConstant,
+  kLogStar,
+  kLinear,
+  kUnsolvable,
+};
+
+[[nodiscard]] std::string to_string(PathComplexity c);
+
+/// The decidable classification described above.
+[[nodiscard]] PathComplexity classify(const PathLcl& lcl);
+
+/// Built-in problems used by tests and the Theorem-7 bench.
+[[nodiscard]] PathLcl make_two_coloring_lcl();
+[[nodiscard]] PathLcl make_three_coloring_lcl();
+/// All labels mutually compatible (including self): the trivial O(1) LCL.
+[[nodiscard]] PathLcl make_free_lcl(int alphabet);
+/// Maximal independent set on paths: {in, out}, no two `in` adjacent, no
+/// two consecutive `out` (maximality): flexible, Theta(log* n).
+[[nodiscard]] PathLcl make_mis_lcl();
+/// A deliberately unsolvable LCL (no label may neighbor anything).
+[[nodiscard]] PathLcl make_unsolvable_lcl();
+
+/// Restricts the boundary sets of `lcl` (the Definition-77 move: compress
+/// problems constrain their two outgoing edges by label-sets).
+[[nodiscard]] PathLcl with_boundaries(PathLcl lcl, LabelSet left,
+                                      LabelSet right);
+
+}  // namespace lcl::bw

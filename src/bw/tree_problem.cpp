@@ -1,0 +1,608 @@
+#include "bw/tree_problem.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "bw/label_sets.hpp"
+#include "decomp/rake_compress.hpp"
+
+namespace lcl::bw {
+
+namespace {
+
+/// Proper 2-coloring of the forest by BFS parity (the W/B split the
+/// black-white formalism assumes).
+std::vector<int> two_color(const Tree& t) {
+  std::vector<int> color(static_cast<std::size_t>(t.size()), -1);
+  for (NodeId s = 0; s < t.size(); ++s) {
+    if (color[static_cast<std::size_t>(s)] >= 0) continue;
+    color[static_cast<std::size_t>(s)] = 0;
+    std::deque<NodeId> q{s};
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop_front();
+      for (NodeId w : t.neighbors(u)) {
+        if (color[static_cast<std::size_t>(w)] < 0) {
+          color[static_cast<std::size_t>(w)] =
+              1 - color[static_cast<std::size_t>(u)];
+          q.push_back(w);
+        }
+      }
+    }
+  }
+  return color;
+}
+
+/// Does some choice l_i in sets[i] make sorted(fixed + l) allowed?
+/// Fills `pick` with a witness when non-null. Exponential in |sets| but
+/// degrees are constant; a combination cap guards misuse.
+bool feasible_choice(const TreeBwProblem& problem, int color,
+                     std::vector<int> fixed,
+                     const std::vector<LabelSet>& sets,
+                     std::vector<int>* pick) {
+  std::int64_t combos = 1;
+  for (LabelSet s : sets) {
+    combos *= std::max(1, __builtin_popcount(s));
+    if (combos > 2'000'000) {
+      throw std::runtime_error("tree_bw: combination explosion");
+    }
+  }
+  std::vector<int> chosen(sets.size(), -1);
+  // Depth-first over the free edges.
+  std::vector<int> stack_label(sets.size(), -1);
+  std::size_t depth = 0;
+  while (true) {
+    if (depth == sets.size()) {
+      std::vector<int> multiset = fixed;
+      for (int l : stack_label) multiset.push_back(l);
+      std::sort(multiset.begin(), multiset.end());
+      if (problem.allowed(color, multiset)) {
+        if (pick != nullptr) *pick = stack_label;
+        return true;
+      }
+      if (depth == 0) return false;
+      --depth;
+    }
+    // Advance the label at `depth`.
+    bool advanced = false;
+    for (int l = stack_label[depth] + 1; l < problem.alphabet; ++l) {
+      if ((sets[depth] >> l) & 1u) {
+        stack_label[depth] = l;
+        advanced = true;
+        break;
+      }
+    }
+    if (advanced) {
+      ++depth;
+      if (depth < sets.size()) stack_label[depth] = -1;
+    } else {
+      stack_label[depth] = -1;
+      if (depth == 0) return false;
+      --depth;
+    }
+  }
+}
+
+}  // namespace
+
+EdgeIndex EdgeIndex::build(const Tree& t) {
+  EdgeIndex idx;
+  idx.offset.resize(static_cast<std::size_t>(t.size()) + 1, 0);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    idx.offset[static_cast<std::size_t>(v) + 1] =
+        idx.offset[static_cast<std::size_t>(v)] +
+        static_cast<std::size_t>(t.degree(v));
+  }
+  idx.id.assign(idx.offset.back(), -1);
+  std::int64_t next = 0;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    const auto nb = t.neighbors(v);
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      if (nb[p] > v) {
+        idx.id[idx.offset[static_cast<std::size_t>(v)] + p] = next++;
+      }
+    }
+  }
+  // Mirror the ids on the other endpoints.
+  for (NodeId v = 0; v < t.size(); ++v) {
+    const auto nb = t.neighbors(v);
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      if (nb[p] < v) {
+        const NodeId u = nb[p];
+        const auto unb = t.neighbors(u);
+        for (std::size_t q = 0; q < unb.size(); ++q) {
+          if (unb[q] == v) {
+            idx.id[idx.offset[static_cast<std::size_t>(v)] + p] =
+                idx.id[idx.offset[static_cast<std::size_t>(u)] + q];
+          }
+        }
+      }
+    }
+  }
+  idx.edge_count = next;
+  return idx;
+}
+
+std::int64_t EdgeIndex::of(const Tree& t, NodeId v, int port) const {
+  (void)t;
+  return id[offset[static_cast<std::size_t>(v)] +
+            static_cast<std::size_t>(port)];
+}
+
+TreeBwResult solve_tree_bw(const Tree& tree, const TreeBwProblem& problem) {
+  TreeBwResult res;
+  const EdgeIndex edges = EdgeIndex::build(tree);
+  const std::vector<int> color = two_color(tree);
+  const auto dec = decomp::rake_compress(tree, 1, 4, /*split_paths=*/true);
+
+  const LabelSet all =
+      static_cast<LabelSet>((1u << problem.alphabet) - 1);
+  std::vector<LabelSet> edge_set(static_cast<std::size_t>(edges.edge_count),
+                                 0);
+  res.edge_label.assign(static_cast<std::size_t>(edges.edge_count), -1);
+
+  auto key_of = [&](NodeId v) {
+    return decomp::layer_order_key(
+        dec.assignment[static_cast<std::size_t>(v)]);
+  };
+
+  // Group nodes by layer key; compress chains handled as components.
+  std::vector<NodeId> order(static_cast<std::size_t>(tree.size()));
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const auto ka = key_of(a), kb = key_of(b);
+    return ka != kb ? ka < kb : a < b;
+  });
+
+  // Splits a node's ports into (incoming = lower key, outgoing ports).
+  auto split_ports = [&](NodeId v, std::vector<int>& in_ports,
+                         std::vector<int>& out_ports) {
+    const auto nb = tree.neighbors(v);
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      if (key_of(nb[p]) < key_of(v)) {
+        in_ports.push_back(static_cast<int>(p));
+      } else {
+        out_ports.push_back(static_cast<int>(p));
+      }
+    }
+  };
+
+  // --- Chain discovery for compress components ----------------------
+  std::vector<char> chain_done(static_cast<std::size_t>(tree.size()), 0);
+  auto collect_chain = [&](NodeId v) {
+    // Same compress layer, connected.
+    std::vector<NodeId> comp;
+    std::deque<NodeId> q{v};
+    chain_done[static_cast<std::size_t>(v)] = 1;
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop_front();
+      comp.push_back(u);
+      for (NodeId w : tree.neighbors(u)) {
+        if (!chain_done[static_cast<std::size_t>(w)] &&
+            key_of(w) == key_of(u)) {
+          chain_done[static_cast<std::size_t>(w)] = 1;
+          q.push_back(w);
+        }
+      }
+    }
+    // Order the component as a path.
+    std::vector<NodeId> path;
+    NodeId end = comp.front();
+    for (NodeId u : comp) {
+      int same = 0;
+      for (NodeId w : tree.neighbors(u)) {
+        if (key_of(w) == key_of(u)) ++same;
+      }
+      if (same <= 1) end = u;
+    }
+    NodeId prev = graph::kInvalidNode;
+    NodeId cur = end;
+    while (cur != graph::kInvalidNode) {
+      path.push_back(cur);
+      NodeId next = graph::kInvalidNode;
+      for (NodeId w : tree.neighbors(cur)) {
+        if (w != prev && key_of(w) == key_of(cur)) next = w;
+      }
+      prev = cur;
+      cur = next;
+    }
+    return path;
+  };
+
+  // The per-chain DP. Computes feasible (left, right) outgoing pairs,
+  // or, when `commit` is non-null with fixed outgoing labels, commits
+  // chain-edge and incoming labels.
+  struct ChainPlan {
+    std::vector<NodeId> path;
+    int left_out_port = -1;   // on path.front(), toward higher (or -1)
+    int right_out_port = -1;  // on path.back()
+  };
+  auto chain_pairs = [&](const ChainPlan& plan, int fixed_left,
+                         int fixed_right, bool commit) {
+    const auto& path = plan.path;
+    const std::size_t len = path.size();
+    // feasible[i][e] = set of left labels for which a labeling of the
+    // prefix up to chain edge i (label e) exists. For reconstruction we
+    // store, per (i, e, left), one predecessor edge label.
+    // Simpler: DP per left label separately (alphabet is tiny).
+    std::vector<std::pair<int, int>> pairs;
+    const int a = problem.alphabet;
+    std::vector<int> lefts, rights;
+    for (int l = 0; l < a; ++l) {
+      if (fixed_left < 0 || l == fixed_left) lefts.push_back(l);
+    }
+    for (int r = 0; r < a; ++r) {
+      if (fixed_right < 0 || r == fixed_right) rights.push_back(r);
+    }
+    for (int l : lefts) {
+      // reach[i][e]: prefix through node i with chain edge (i,i+1)
+      // labeled e is completable; pred[i][e] = previous edge label.
+      std::vector<std::vector<char>> reach(
+          len, std::vector<char>(static_cast<std::size_t>(a), 0));
+      std::vector<std::vector<int>> pred(
+          len, std::vector<int>(static_cast<std::size_t>(a), -1));
+      for (std::size_t i = 0; i < len; ++i) {
+        const NodeId v = path[i];
+        std::vector<int> in_ports, out_ports;
+        split_ports(v, in_ports, out_ports);
+        // Incoming label-sets from raked subtrees (exclude chain mates
+        // and the outgoing-to-higher port).
+        std::vector<LabelSet> sets;
+        for (int p : in_ports) {
+          const NodeId u = tree.neighbors(v)[static_cast<std::size_t>(p)];
+          if (key_of(u) == key_of(v)) continue;  // chain mate
+          sets.push_back(
+              edge_set[static_cast<std::size_t>(edges.of(tree, v, p))]);
+        }
+        const bool first = (i == 0);
+        const bool last = (i + 1 == len);
+        for (int e_prev = 0; e_prev < (first ? 1 : a); ++e_prev) {
+          if (!first && !reach[i - 1][static_cast<std::size_t>(e_prev)]) {
+            continue;
+          }
+          for (int e_next = 0; e_next < (last ? 1 : a); ++e_next) {
+            std::vector<int> fixed;
+            if (first) {
+              if (plan.left_out_port >= 0) fixed.push_back(l);
+            } else {
+              fixed.push_back(e_prev);
+            }
+            if (last) {
+              // right outgoing handled by caller loop below
+            } else {
+              fixed.push_back(e_next);
+            }
+            if (!last) {
+              if (feasible_choice(problem,
+                                  color[static_cast<std::size_t>(v)],
+                                  fixed, sets, nullptr)) {
+                reach[i][static_cast<std::size_t>(e_next)] = 1;
+                if (pred[i][static_cast<std::size_t>(e_next)] < 0) {
+                  pred[i][static_cast<std::size_t>(e_next)] =
+                      first ? -2 : e_prev;
+                }
+              }
+            } else {
+              for (int r : rights) {
+                std::vector<int> fixed_last = fixed;
+                if (plan.right_out_port >= 0) fixed_last.push_back(r);
+                if (feasible_choice(problem,
+                                    color[static_cast<std::size_t>(v)],
+                                    fixed_last, sets, nullptr)) {
+                  // For single-node chains the left label is unused
+                  // unless there is a left port; normalize.
+                  pairs.emplace_back(l, r);
+                  if (commit) {
+                    // Reconstruct: walk predecessors backward.
+                    std::vector<int> chain_edges(len >= 1 ? len - 1 : 0,
+                                                 -1);
+                    int cur = first ? -2 : e_prev;
+                    if (!first) {
+                      chain_edges[i - 1] = e_prev;
+                      for (std::size_t j = i - 1; j > 0; --j) {
+                        cur = pred[j][static_cast<std::size_t>(
+                            chain_edges[j])];
+                        chain_edges[j - 1] = cur;
+                      }
+                    }
+                    // Commit chain edges.
+                    for (std::size_t j = 0; j + 1 < len; ++j) {
+                      const NodeId x = path[j];
+                      const auto nb = tree.neighbors(x);
+                      for (std::size_t p = 0; p < nb.size(); ++p) {
+                        if (nb[p] == path[j + 1]) {
+                          res.edge_label[static_cast<std::size_t>(
+                              edges.of(tree, x, static_cast<int>(p)))] =
+                              chain_edges[j];
+                        }
+                      }
+                    }
+                    // Commit incoming picks at every chain node.
+                    for (std::size_t j = 0; j < len; ++j) {
+                      const NodeId x = path[j];
+                      std::vector<int> ip, op;
+                      split_ports(x, ip, op);
+                      std::vector<int> fixed2;
+                      std::vector<LabelSet> sets2;
+                      std::vector<int> set_ports;
+                      for (int p : ip) {
+                        const NodeId u =
+                            tree.neighbors(x)[static_cast<std::size_t>(p)];
+                        if (key_of(u) == key_of(x)) continue;
+                        sets2.push_back(edge_set[static_cast<std::size_t>(
+                            edges.of(tree, x, p))]);
+                        set_ports.push_back(p);
+                      }
+                      const auto nb = tree.neighbors(x);
+                      for (std::size_t p = 0; p < nb.size(); ++p) {
+                        const std::int64_t eid =
+                            edges.of(tree, x, static_cast<int>(p));
+                        const int lab = res.edge_label[
+                            static_cast<std::size_t>(eid)];
+                        if (lab >= 0 &&
+                            std::find(set_ports.begin(), set_ports.end(),
+                                      static_cast<int>(p)) ==
+                                set_ports.end()) {
+                          fixed2.push_back(lab);
+                        }
+                      }
+                      std::vector<int> picks;
+                      if (!feasible_choice(
+                              problem, color[static_cast<std::size_t>(x)],
+                              fixed2, sets2, &picks)) {
+                        throw std::logic_error(
+                            "tree_bw: chain commit infeasible");
+                      }
+                      for (std::size_t s = 0; s < set_ports.size(); ++s) {
+                        res.edge_label[static_cast<std::size_t>(
+                            edges.of(tree, x, set_ports[s]))] = picks[s];
+                      }
+                    }
+                    return pairs;  // committed one witness
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    return pairs;
+  };
+
+  // --- Bottom-up: label-sets ----------------------------------------
+  std::vector<ChainPlan> chains;
+  std::vector<int> chain_of(static_cast<std::size_t>(tree.size()), -1);
+  for (NodeId v : order) {
+    const auto& assign = dec.assignment[static_cast<std::size_t>(v)];
+    if (assign.kind == decomp::LayerKind::kCompress) {
+      if (chain_done[static_cast<std::size_t>(v)]) continue;
+      ChainPlan plan;
+      plan.path = collect_chain(v);
+      // Outgoing ports at both endpoints (toward strictly higher keys).
+      {
+        std::vector<int> ip, op;
+        split_ports(plan.path.front(), ip, op);
+        for (int p : op) {
+          const NodeId u = tree.neighbors(
+              plan.path.front())[static_cast<std::size_t>(p)];
+          if (key_of(u) > key_of(plan.path.front())) {
+            plan.left_out_port = p;
+          }
+        }
+      }
+      if (plan.path.size() > 1) {
+        std::vector<int> ip, op;
+        split_ports(plan.path.back(), ip, op);
+        for (int p : op) {
+          const NodeId u = tree.neighbors(
+              plan.path.back())[static_cast<std::size_t>(p)];
+          if (key_of(u) > key_of(plan.path.back())) {
+            plan.right_out_port = p;
+          }
+        }
+      }
+      const auto pairs = chain_pairs(plan, -1, -1, /*commit=*/false);
+      const Rectangle rect = independent_rectangle(pairs, problem.alphabet);
+      const bool need_left = plan.left_out_port >= 0;
+      const bool need_right = plan.right_out_port >= 0;
+      if ((need_left && rect.left == 0) ||
+          (need_right && rect.right == 0) || pairs.empty()) {
+        res.failure = "empty class at compress chain near node " +
+                      std::to_string(v);
+        return res;
+      }
+      if (need_left) {
+        edge_set[static_cast<std::size_t>(edges.of(
+            tree, plan.path.front(), plan.left_out_port))] = rect.left;
+      }
+      if (need_right) {
+        edge_set[static_cast<std::size_t>(edges.of(
+            tree, plan.path.back(), plan.right_out_port))] = rect.right;
+      }
+      chain_of[static_cast<std::size_t>(plan.path.front())] =
+          static_cast<int>(chains.size());
+      chains.push_back(std::move(plan));
+      continue;
+    }
+
+    // Rake node: compute g(v) for the (unique) outgoing edge.
+    std::vector<int> in_ports, out_ports;
+    split_ports(v, in_ports, out_ports);
+    std::vector<LabelSet> sets;
+    for (int p : in_ports) {
+      sets.push_back(
+          edge_set[static_cast<std::size_t>(edges.of(tree, v, p))]);
+    }
+    if (out_ports.empty()) {
+      if (!feasible_choice(problem, color[static_cast<std::size_t>(v)],
+                           {}, sets, nullptr)) {
+        res.failure = "infeasible root node " + std::to_string(v);
+        return res;
+      }
+      continue;
+    }
+    if (out_ports.size() > 1) {
+      res.failure = "rake node with two higher neighbors (decomposition "
+                    "violation) at " +
+                    std::to_string(v);
+      return res;
+    }
+    LabelSet g = 0;
+    for (int o = 0; o < problem.alphabet; ++o) {
+      if (feasible_choice(problem, color[static_cast<std::size_t>(v)],
+                          {o}, sets, nullptr)) {
+        g |= (1u << o);
+      }
+    }
+    if (g == 0) {
+      res.failure = "empty label-set at node " + std::to_string(v);
+      return res;
+    }
+    edge_set[static_cast<std::size_t>(edges.of(tree, v, out_ports[0]))] =
+        g;
+    (void)all;
+  }
+
+  // --- Top-down: commit labels ---------------------------------------
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    const auto& assign = dec.assignment[static_cast<std::size_t>(v)];
+    if (assign.kind == decomp::LayerKind::kCompress) {
+      const int ci = chain_of[static_cast<std::size_t>(v)];
+      if (ci < 0) continue;  // interior / non-anchor chain nodes
+      const ChainPlan& plan = chains[static_cast<std::size_t>(ci)];
+      int fixed_left = -1, fixed_right = -1;
+      if (plan.left_out_port >= 0) {
+        fixed_left = res.edge_label[static_cast<std::size_t>(edges.of(
+            tree, plan.path.front(), plan.left_out_port))];
+      } else {
+        fixed_left = 0;  // unused by the DP when there is no left port
+      }
+      if (plan.right_out_port >= 0) {
+        fixed_right = res.edge_label[static_cast<std::size_t>(edges.of(
+            tree, plan.path.back(), plan.right_out_port))];
+      }
+      const auto committed =
+          chain_pairs(plan, fixed_left, fixed_right, /*commit=*/true);
+      if (committed.empty()) {
+        throw std::logic_error(
+            "tree_bw: independent rectangle was not completable");
+      }
+      continue;
+    }
+
+    // Rake node: outgoing already labeled by the higher layer (or none);
+    // pick incoming labels.
+    std::vector<int> in_ports, out_ports;
+    split_ports(v, in_ports, out_ports);
+    std::vector<int> fixed;
+    for (int p : out_ports) {
+      const int lab = res.edge_label[static_cast<std::size_t>(
+          edges.of(tree, v, p))];
+      if (lab < 0) {
+        throw std::logic_error("tree_bw: outgoing edge not yet labeled");
+      }
+      fixed.push_back(lab);
+    }
+    std::vector<LabelSet> sets;
+    for (int p : in_ports) {
+      sets.push_back(
+          edge_set[static_cast<std::size_t>(edges.of(tree, v, p))]);
+    }
+    std::vector<int> picks;
+    if (!feasible_choice(problem, color[static_cast<std::size_t>(v)],
+                         fixed, sets, &picks)) {
+      throw std::logic_error("tree_bw: committed set not completable");
+    }
+    for (std::size_t s = 0; s < in_ports.size(); ++s) {
+      res.edge_label[static_cast<std::size_t>(
+          edges.of(tree, v, in_ports[s]))] = picks[s];
+    }
+  }
+
+  res.solved = true;
+  return res;
+}
+
+std::string check_tree_bw(const Tree& tree, const TreeBwProblem& problem,
+                          const std::vector<int>& edge_label) {
+  const EdgeIndex edges = EdgeIndex::build(tree);
+  const std::vector<int> color = two_color(tree);
+  if (static_cast<std::int64_t>(edge_label.size()) != edges.edge_count) {
+    return "edge label vector size mismatch";
+  }
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    std::vector<int> incident;
+    for (int p = 0; p < tree.degree(v); ++p) {
+      const int lab =
+          edge_label[static_cast<std::size_t>(edges.of(tree, v, p))];
+      if (lab < 0 || lab >= problem.alphabet) {
+        return "edge at node " + std::to_string(v) + " unlabeled";
+      }
+      incident.push_back(lab);
+    }
+    std::sort(incident.begin(), incident.end());
+    if (!problem.allowed(color[static_cast<std::size_t>(v)], incident)) {
+      return "constraint violated at node " + std::to_string(v);
+    }
+  }
+  return {};
+}
+
+TreeBwProblem make_bw_free(int alphabet) {
+  TreeBwProblem p;
+  p.alphabet = alphabet;
+  p.name = "bw-free";
+  p.allowed = [](int, const std::vector<int>&) { return true; };
+  return p;
+}
+
+TreeBwProblem make_bw_edge_coloring(int colors) {
+  TreeBwProblem p;
+  p.alphabet = colors;
+  p.name = "edge-coloring";
+  p.allowed = [](int, const std::vector<int>& labels) {
+    for (std::size_t i = 1; i < labels.size(); ++i) {
+      if (labels[i] == labels[i - 1]) return false;
+    }
+    return true;
+  };
+  return p;
+}
+
+TreeBwProblem make_bw_sinkless() {
+  TreeBwProblem p;
+  p.alphabet = 2;
+  p.name = "sinkless-orientation";
+  // Label 1 on an edge = oriented away from the white endpoint. A node
+  // of degree >= 2 needs an outgoing edge: white nodes need some 1,
+  // black nodes need some 0.
+  p.allowed = [](int color, const std::vector<int>& labels) {
+    if (labels.size() <= 1) return true;  // leaves are exempt
+    const int need = color == 0 ? 1 : 0;
+    for (int l : labels) {
+      if (l == need) return true;
+    }
+    return false;
+  };
+  return p;
+}
+
+TreeBwProblem make_bw_weak_matching() {
+  TreeBwProblem p;
+  p.alphabet = 2;
+  p.name = "weak-matching";
+  p.allowed = [](int, const std::vector<int>& labels) {
+    int ones = 0;
+    for (int l : labels) ones += (l == 1);
+    return ones <= 1;
+  };
+  return p;
+}
+
+}  // namespace lcl::bw

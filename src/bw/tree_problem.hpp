@@ -1,0 +1,91 @@
+// LCLs on trees in the black-white formalism (Definition 70) and the
+// generic rake-and-compress solver of Sections 11.3-11.5.
+//
+// A problem assigns labels to *edges*; the constraint of a node is a set
+// of allowed multisets of incident edge labels (one collection per node
+// color of the proper 2-coloring W/B that every tree admits — the
+// formalism's black/white split). Inputs are omitted (Sigma_in = {eps}),
+// which covers every use the paper makes of the formalism in Section 11.
+//
+// The solver follows the paper's pipeline:
+//   1. compute a (gamma, ell, L)-decomposition (Definition 71);
+//   2. sweep layers bottom-up (Definition 75 order), assigning to each
+//      rake node's outgoing edge the label-set g(v) of Definition 74 and
+//      to each compress path's two outgoing edges the canonical
+//      independent restriction f_Pi (Definition 73) of its flexible
+//      class;
+//   3. sweep top-down, committing one label per edge so every node's
+//      multiset constraint holds.
+// A problem is *solvable by the generic algorithm* iff no empty
+// label-set arises (the testing procedure's criterion); `solve` reports
+// failure otherwise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bw/path_lcl.hpp"
+#include "graph/tree.hpp"
+
+namespace lcl::bw {
+
+using graph::NodeId;
+using graph::Tree;
+
+/// An LCL on tree edges in the black-white formalism, inputs omitted.
+/// `allowed(color, labels)` decides whether the sorted multiset of
+/// incident edge labels is permitted for a node of the given 2-coloring
+/// color (0 = white, 1 = black).
+struct TreeBwProblem {
+  int alphabet = 0;
+  std::string name;
+  /// Degree-indexed explicit constraint sets would be exponential; a
+  /// predicate keeps problems like "all incident labels distinct"
+  /// O(1)-describable. Must be symmetric in the multiset (the caller
+  /// passes sorted labels).
+  std::function<bool(int color, const std::vector<int>&)> allowed;
+};
+
+/// Result of the generic solver.
+struct TreeBwResult {
+  bool solved = false;
+  std::string failure;          ///< first empty label-set, if any
+  std::vector<int> edge_label;  ///< per edge id (see edge_index)
+};
+
+/// Canonical edge indexing: edge {u, v} with u < v gets a dense id.
+struct EdgeIndex {
+  std::vector<std::int64_t> id;  ///< flat [node][port] -> edge id
+  std::vector<std::size_t> offset;
+  std::int64_t edge_count = 0;
+
+  static EdgeIndex build(const Tree& t);
+  [[nodiscard]] std::int64_t of(const Tree& t, NodeId v, int port) const;
+};
+
+/// Runs the generic rake-and-compress solver.
+[[nodiscard]] TreeBwResult solve_tree_bw(const Tree& tree,
+                                         const TreeBwProblem& problem);
+
+/// Verifies an edge labeling against the problem (independent checker).
+[[nodiscard]] std::string check_tree_bw(const Tree& tree,
+                                        const TreeBwProblem& problem,
+                                        const std::vector<int>& edge_label);
+
+/// Built-in problems.
+/// Every multiset allowed: trivially solvable.
+[[nodiscard]] TreeBwProblem make_bw_free(int alphabet);
+/// Proper edge coloring with `colors` colors (needs colors >= max degree).
+[[nodiscard]] TreeBwProblem make_bw_edge_coloring(int colors);
+/// Sinkless-orientation flavor: labels {0,1} read as "toward the white
+/// endpoint" (0) / "toward the black endpoint" (1); every node of degree
+/// >= 2 needs at least one outgoing edge. On trees with the white/black
+/// split, a white node's incident label 1 means outgoing.
+[[nodiscard]] TreeBwProblem make_bw_sinkless();
+/// At most one incident edge labeled 1 per node ("matching-ish").
+[[nodiscard]] TreeBwProblem make_bw_weak_matching();
+
+}  // namespace lcl::bw

@@ -1,0 +1,64 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lcl::core {
+
+void print_experiment(const std::string& title,
+                      const std::vector<MeasuredRun>& runs,
+                      const std::string& scale_name, double predicted_lo,
+                      double predicted_hi) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("  %12s %10s %14s %12s %8s\n", scale_name.c_str(), "n",
+              "node-avg", "worst-case", "valid");
+  for (const MeasuredRun& r : runs) {
+    std::printf("  %12.0f %10lld %14.3f %12lld %8s\n", r.scale,
+                static_cast<long long>(r.n), r.node_averaged,
+                static_cast<long long>(r.worst_case),
+                r.valid ? "yes" : ("NO: " + r.check_reason).c_str());
+  }
+  const std::vector<Sample> samples = to_samples(runs);
+  if (samples.size() >= 2) {
+    const PowerFit fit = fit_power_law(samples);
+    if (predicted_lo == predicted_hi) {
+      std::printf(
+          "  fitted exponent: %.3f (R^2 %.3f)   paper predicts: %.3f\n",
+          fit.exponent, fit.r_squared, predicted_lo);
+    } else {
+      std::printf(
+          "  fitted exponent: %.3f (R^2 %.3f)   paper predicts: "
+          "[%.3f, %.3f]\n",
+          fit.exponent, fit.r_squared, predicted_lo, predicted_hi);
+    }
+  }
+  std::printf("\n");
+}
+
+std::vector<Sample> to_samples(const std::vector<MeasuredRun>& runs) {
+  std::vector<Sample> samples;
+  for (const MeasuredRun& r : runs) {
+    if (r.valid && r.scale > 0 && r.node_averaged > 0) {
+      samples.push_back({r.scale, r.node_averaged});
+    }
+  }
+  return samples;
+}
+
+std::vector<std::int64_t> lower_bound_lengths(
+    const std::vector<double>& alphas, double base, std::int64_t target_n) {
+  std::vector<std::int64_t> ell;
+  std::int64_t prod = 1;
+  for (double a : alphas) {
+    const std::int64_t l = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(std::pow(base, a))));
+    ell.push_back(l);
+    prod *= l;
+  }
+  ell.push_back(std::max<std::int64_t>(1, target_n / std::max<std::int64_t>(
+                                               prod, 1)));
+  return ell;
+}
+
+}  // namespace lcl::core

@@ -1,0 +1,43 @@
+// Experiment harness shared by the benches: builds paper instances,
+// runs solvers, verifies outputs with the independent checkers, and
+// collects (scale, node-averaged) samples for exponent fits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fitting.hpp"
+#include "graph/builders.hpp"
+#include "local/engine.hpp"
+
+namespace lcl::core {
+
+/// Outcome of one verified run.
+struct MeasuredRun {
+  double scale = 0.0;         ///< the sweep variable (n or Lambda)
+  double node_averaged = 0.0;
+  std::int64_t worst_case = 0;
+  std::int64_t n = 0;
+  bool valid = false;         ///< checker verdict
+  std::string check_reason;
+};
+
+/// Pretty-prints a table of runs plus the fitted exponent vs. the
+/// predicted range [lo, hi] (pass lo == hi for a point prediction).
+void print_experiment(const std::string& title,
+                      const std::vector<MeasuredRun>& runs,
+                      const std::string& scale_name, double predicted_lo,
+                      double predicted_hi);
+
+/// Converts measured runs to fit samples (only valid runs).
+[[nodiscard]] std::vector<Sample> to_samples(
+    const std::vector<MeasuredRun>& runs);
+
+/// Path lengths ell_1..ell_k for the Definition-18 / Definition-25
+/// constructions: ell_i = base^{alpha_i} for i < k and ell_k chosen so
+/// the product is ~target_n. `alphas` has k-1 entries.
+[[nodiscard]] std::vector<std::int64_t> lower_bound_lengths(
+    const std::vector<double>& alphas, double base, std::int64_t target_n);
+
+}  // namespace lcl::core

@@ -1,0 +1,153 @@
+#include "core/exponents.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcl::core {
+
+double efficiency_x(int delta, int d) {
+  if (delta < d + 3) throw std::invalid_argument("exponents: Delta >= d+3");
+  if (d < 1) throw std::invalid_argument("exponents: d >= 1");
+  return std::log(static_cast<double>(delta - d - 1)) /
+         std::log(static_cast<double>(delta - 1));
+}
+
+double efficiency_x_prime(int delta, int d) {
+  if (delta < d + 3) throw std::invalid_argument("exponents: Delta >= d+3");
+  return std::log(static_cast<double>(delta - d + 1)) /
+         std::log(static_cast<double>(delta - 1));
+}
+
+double alpha1_poly(double x, int k) {
+  if (k < 1) throw std::invalid_argument("exponents: k >= 1");
+  double sum = 0.0;
+  double term = 1.0;  // (2-x)^0
+  for (int j = 0; j < k; ++j) {
+    sum += term;
+    term *= (2.0 - x);
+  }
+  return 1.0 / sum;
+}
+
+double alpha1_logstar(double x, int k) {
+  if (k < 1) throw std::invalid_argument("exponents: k >= 1");
+  double sum = 0.0;
+  double term = 1.0;
+  for (int j = 0; j <= k - 2; ++j) {
+    sum += term;
+    term *= (2.0 - x);
+  }
+  return 1.0 / (1.0 + (1.0 - x) * sum);
+}
+
+namespace {
+
+std::vector<double> profile_from_alpha1(double alpha1, double x, int k) {
+  std::vector<double> alphas;
+  double a = alpha1;
+  for (int i = 1; i <= k - 1; ++i) {
+    alphas.push_back(a);
+    a *= (2.0 - x);
+  }
+  return alphas;
+}
+
+}  // namespace
+
+std::vector<double> alpha_profile_poly(double x, int k) {
+  return profile_from_alpha1(alpha1_poly(x, k), x, k);
+}
+
+std::vector<double> alpha_profile_logstar(double x, int k) {
+  return profile_from_alpha1(alpha1_logstar(x, k), x, k);
+}
+
+GadgetParams params_for_rational(int p, int q) {
+  if (p < 1 || p >= q) throw std::invalid_argument("exponents: 1 <= p < q");
+  if (q > 24) throw std::invalid_argument("exponents: q too large");
+  GadgetParams out;
+  out.delta = (1 << q) + 1;
+  out.d = (1 << q) - (1 << p);
+  // Sanity: Delta - d - 1 = 2^p, Delta - 1 = 2^q, so x = p/q exactly.
+  out.x = efficiency_x(out.delta, out.d);
+  out.x_prime = efficiency_x_prime(out.delta, out.d);
+  return out;
+}
+
+GadgetParams params_with_gap(int p, int q, double eps) {
+  if (eps <= 0) throw std::invalid_argument("exponents: eps > 0");
+  for (int c = 1;; ++c) {
+    if (c * q > 24) {
+      throw std::invalid_argument(
+          "exponents: cannot realize gap eps (Delta overflow)");
+    }
+    GadgetParams params = params_for_rational(c * p, c * q);
+    if (params.x_prime - params.x < eps) return params;
+  }
+}
+
+DensityChoice choose_poly_exponent(double r1, double r2) {
+  if (!(0.0 < r1 && r1 < r2 && r2 <= 0.5)) {
+    throw std::invalid_argument("exponents: need 0 < r1 < r2 <= 1/2");
+  }
+  // Pick k with 1/(2k-1) <= r1 (so alpha1 spans past r1 as x -> 0..1),
+  // then scan rationals p/q for alpha1 in [r1, r2]. alpha1_poly is
+  // continuous and increasing in x (Lemma 57), range [1/(2k-1), 1/k].
+  for (int k = 1; k <= 16; ++k) {
+    const double lo = alpha1_poly(0.0, k);  // 1/(2k-1)
+    const double hi = alpha1_poly(1.0, k);  // 1/k
+    if (hi < r1 || lo > r2) continue;
+    for (int q = 2; q <= 12; ++q) {
+      for (int p = 1; p < q; ++p) {
+        GadgetParams params = params_for_rational(p, q);
+        const double a = alpha1_poly(params.x, k);
+        if (a >= r1 && a <= r2) {
+          return {params, k, a};
+        }
+      }
+    }
+  }
+  throw std::runtime_error("exponents: no rational found in [r1, r2]");
+}
+
+DensityChoice choose_logstar_exponent(double r1, double r2, double eps) {
+  if (!(0.0 < r1 && r1 < r2 && r2 < 1.0)) {
+    throw std::invalid_argument("exponents: need 0 < r1 < r2 < 1");
+  }
+  for (int k = 1; k <= 16; ++k) {
+    const double lo = alpha1_logstar(0.0, k);  // 1/(2^{k}-1)... = 1/(2k-?)
+    const double hi = alpha1_logstar(1.0, k);  // 1
+    if (hi < r1 || lo > r2) continue;
+    for (int q = 2; q <= 8; ++q) {
+      for (int p = 1; p < q; ++p) {
+        GadgetParams base = params_for_rational(p, q);
+        const double a = alpha1_logstar(base.x, k);
+        if (a < r1 || a > r2) continue;
+        // Squeeze x' toward x until the exponent gap closes below eps.
+        for (int c = 1; c * q <= 24; ++c) {
+          GadgetParams params = params_for_rational(c * p, c * q);
+          const double a_lo = alpha1_logstar(params.x, k);
+          const double a_hi = alpha1_logstar(params.x_prime, k);
+          if (a_hi - a_lo < eps) {
+            return {params, k, a_lo};
+          }
+        }
+      }
+    }
+  }
+  throw std::runtime_error("exponents: no (params, k) meets the gap");
+}
+
+std::vector<std::int64_t> gammas_from_profile(
+    const std::vector<double>& alphas, double base) {
+  std::vector<std::int64_t> gammas;
+  gammas.reserve(alphas.size());
+  for (double a : alphas) {
+    const double g = std::pow(base, a);
+    gammas.push_back(
+        std::max<std::int64_t>(2, static_cast<std::int64_t>(std::llround(g))));
+  }
+  return gammas;
+}
+
+}  // namespace lcl::core

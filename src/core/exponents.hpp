@@ -1,0 +1,76 @@
+// Closed-form node-averaged complexity exponents (the analytic heart of
+// the paper) and the parameter constructions that realize target
+// exponents.
+//
+//  * Efficiency factors of the weight gadget (Lemma 23 / Section 8):
+//      x  = log(Delta-d-1)/log(Delta-1)   (lower bound / A_poly)
+//      x' = log(Delta-d+1)/log(Delta-1)   (fast-decomposition upper bound)
+//  * Polynomial regime (Lemma 33): alpha_i = (2-x) alpha_{i-1},
+//      alpha_1 = 1 / sum_{j=0}^{k-1} (2-x)^j;  Pi^{2.5} is Theta(n^alpha1).
+//  * log* regime (Lemma 36):
+//      alpha_1 = 1 / (1 + (1-x) sum_{j=0}^{k-2} (2-x)^j);
+//      Pi^{3.5} is between (log* n)^{alpha1(x)} and (log* n)^{alpha1(x')}.
+//  * Lemma 58: any rational x = p/q in (0,1) is realized by
+//      Delta = 2^q + 1, d = 2^q - 2^p.
+//  * Lemma 62: scaling p/q by c gives |x - x'| <= 2/(2^{cp} ln 2 ...)
+//      ~ 2/(2 a c); used to squeeze upper and lower exponents within eps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lcl::core {
+
+/// x = log(Delta-d-1)/log(Delta-1). Requires Delta >= d+3 (so x > 0).
+[[nodiscard]] double efficiency_x(int delta, int d);
+
+/// x' = log(Delta-d+1)/log(Delta-1), the slightly lossier factor of the
+/// Pi^{3.5} upper bound (Theorem 5).
+[[nodiscard]] double efficiency_x_prime(int delta, int d);
+
+/// Lemma 33: alpha_1(x) = 1 / sum_{j=0}^{k-1} (2-x)^j.
+[[nodiscard]] double alpha1_poly(double x, int k);
+
+/// Lemma 36: alpha_1(x) = 1 / (1 + (1-x) sum_{j=0}^{k-2} (2-x)^j).
+[[nodiscard]] double alpha1_logstar(double x, int k);
+
+/// The full alpha profile alpha_1..alpha_{k-1} with
+/// alpha_i = (2-x) alpha_{i-1} (shared by Lemmas 33 and 36).
+[[nodiscard]] std::vector<double> alpha_profile_poly(double x, int k);
+[[nodiscard]] std::vector<double> alpha_profile_logstar(double x, int k);
+
+/// Parameters (Delta, d) realizing a rational efficiency factor.
+struct GadgetParams {
+  int delta = 0;
+  int d = 0;
+  double x = 0.0;        ///< realized x (== p/q exactly in the reals)
+  double x_prime = 0.0;  ///< realized x'
+};
+
+/// Lemma 58: Delta = 2^q + 1, d = 2^q - 2^p for x = p/q. Requires
+/// 1 <= p < q and q small enough that 2^q fits an int.
+[[nodiscard]] GadgetParams params_for_rational(int p, int q);
+
+/// Lemma 62: scales (p, q) -> (cp, cq) until x' - x < eps; returns the
+/// scaled parameters. Throws if the required Delta would overflow.
+[[nodiscard]] GadgetParams params_with_gap(int p, int q, double eps);
+
+/// Theorem 1 search: given 0 < r1 < r2 <= 1/2, returns (params, k) whose
+/// polynomial-regime exponent alpha1 lies in [r1, r2].
+struct DensityChoice {
+  GadgetParams params;
+  int k = 0;
+  double exponent = 0.0;  ///< achieved alpha1
+};
+[[nodiscard]] DensityChoice choose_poly_exponent(double r1, double r2);
+
+/// Theorem 6 search: given 0 < r1 < r2 < 1 and eps > 0, returns
+/// (params, k) with alpha1(x) in [r1, r2] and alpha1(x') < alpha1(x)+eps.
+[[nodiscard]] DensityChoice choose_logstar_exponent(double r1, double r2,
+                                                    double eps);
+
+/// gamma_i = round(base^{alpha_i}) for a profile; clamped to >= 2.
+[[nodiscard]] std::vector<std::int64_t> gammas_from_profile(
+    const std::vector<double>& alphas, double base);
+
+}  // namespace lcl::core

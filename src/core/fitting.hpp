@@ -1,0 +1,25 @@
+// Log-log least-squares exponent fitting for the benches: given sample
+// pairs (scale, measured-rounds), estimate c in rounds ~ scale^c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lcl::core {
+
+/// One measured point of a scaling experiment.
+struct Sample {
+  double scale = 0.0;    ///< n, or the virtual log* Lambda
+  double measure = 0.0;  ///< measured node-averaged rounds
+};
+
+/// Least-squares slope/intercept of log(measure) against log(scale).
+struct PowerFit {
+  double exponent = 0.0;   ///< fitted c
+  double log_coeff = 0.0;  ///< fitted log-constant
+  double r_squared = 0.0;  ///< goodness of fit
+};
+
+[[nodiscard]] PowerFit fit_power_law(const std::vector<Sample>& samples);
+
+}  // namespace lcl::core

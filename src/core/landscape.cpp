@@ -1,0 +1,72 @@
+#include "core/landscape.hpp"
+
+namespace lcl::core {
+
+std::string to_string(RegionKind k) {
+  switch (k) {
+    case RegionKind::kClass: return "class";
+    case RegionKind::kDense: return "dense";
+    case RegionKind::kGap: return "gap";
+  }
+  return "?";
+}
+
+std::string to_string(Provenance p) {
+  switch (p) {
+    case Provenance::kPriorWork: return "prior work";
+    case Provenance::kThisPaper: return "this paper";
+  }
+  return "?";
+}
+
+std::vector<LandscapeRegion> landscape(bool after) {
+  using RK = RegionKind;
+  using PV = Provenance;
+  std::vector<LandscapeRegion> rows;
+
+  rows.push_back({"O(1)", RK::kClass, PV::kPriorWork,
+                  "trivial / order-invariant LCLs",
+                  "constant-output problems"});
+  if (after) {
+    rows.push_back({"omega(1) .. (log* n)^{o(1)}", RK::kGap, PV::kThisPaper,
+                    "Theorem 7 (decidable membership in O(1))",
+                    "-"});
+    rows.push_back({"(log* n)^{Omega(1)} .. o(log* n)", RK::kDense,
+                    PV::kThisPaper,
+                    "Theorems 4-6 (Pi^{3.5}_{Delta,d,k} density)",
+                    "weighted 3.5-coloring, exponent alpha1(x)"});
+  } else {
+    rows.push_back({"omega(1) .. o(log* n)", RK::kGap, PV::kPriorWork,
+                    "open before this paper (no problems known)", "-"});
+  }
+  rows.push_back({"Theta((log* n)^{1/2^{k-1}})", RK::kClass,
+                  after ? PV::kThisPaper : PV::kPriorWork,
+                  "Theorem 11 (k-hierarchical 3.5-coloring)",
+                  "k-hierarchical 3.5-coloring"});
+  rows.push_back({"Theta(log* n)", RK::kClass, PV::kPriorWork,
+                  "Feuilloley'17 on paths; GRB22 gap below",
+                  "3-coloring of paths"});
+  rows.push_back({"omega(log* n) .. n^{o(1)}", RK::kGap, PV::kPriorWork,
+                  "BBK+23 (DISC'23)", "-"});
+  rows.push_back({"Theta(n^{1/(2k-1)})", RK::kClass, PV::kPriorWork,
+                  "BBK+23 (k-hierarchical 2.5-coloring)",
+                  "k-hierarchical 2.5-coloring"});
+  if (after) {
+    rows.push_back({"n^{Omega(1)} .. o(sqrt n): dense", RK::kDense,
+                    PV::kThisPaper,
+                    "Theorems 1-3 (Pi^{2.5}_{Delta,d,k} density)",
+                    "weighted 2.5-coloring, exponent alpha1(x)"});
+    rows.push_back({"Theta(n^{1/k}) incl. Theta(sqrt n)", RK::kClass,
+                    PV::kThisPaper,
+                    "Lemma 69 (weight-augmented 2.5-coloring)",
+                    "k-hierarchical weight-augmented 2.5-coloring"});
+    rows.push_back({"omega(sqrt n) .. o(n)", RK::kGap, PV::kThisPaper,
+                    "Corollary 60 (via Feuilloley's lemma)", "-"});
+  }
+  rows.push_back({"Theta(n)", RK::kClass, PV::kPriorWork,
+                  "2-coloring of paths (worst case Theta(n))",
+                  "2-coloring of paths"});
+  return rows;
+}
+
+}  // namespace lcl::core

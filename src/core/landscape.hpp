@@ -1,0 +1,45 @@
+// The node-averaged complexity landscape of LCLs on bounded-degree trees
+// (Figures 1 and 2 of the paper), as a queryable table.
+//
+// Each entry describes one region of the landscape: its asymptotic form,
+// whether it is a realizable class, a dense region, or a proven gap, and
+// which result (prior work vs. this paper) established it. The Figure-2
+// bench prints the table and attaches measured witnesses from the
+// simulator for the realizable rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lcl::core {
+
+/// Kind of landscape region.
+enum class RegionKind {
+  kClass,  ///< realizable complexity class (e.g. Theta(log* n)^c)
+  kDense,  ///< infinitely dense set of realizable classes
+  kGap,    ///< proven empty region
+};
+
+/// Which side of the literature established the region.
+enum class Provenance {
+  kPriorWork,   ///< known before this paper (Fig. 1)
+  kThisPaper,   ///< new in this paper (Fig. 2)
+};
+
+struct LandscapeRegion {
+  std::string range;        ///< human-readable asymptotic range
+  RegionKind kind;
+  Provenance provenance;
+  std::string source;       ///< theorem/corollary or citation
+  std::string witness;      ///< problem family witnessing the region
+};
+
+/// Deterministic node-averaged landscape rows, low to high complexity.
+/// `after` = true gives the completed Figure-2 landscape; false gives the
+/// prior-work Figure-1 view (gaps known before this paper only).
+[[nodiscard]] std::vector<LandscapeRegion> landscape(bool after);
+
+[[nodiscard]] std::string to_string(RegionKind k);
+[[nodiscard]] std::string to_string(Provenance p);
+
+}  // namespace lcl::core

@@ -1,0 +1,268 @@
+#include "graph/builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace lcl::graph {
+
+Tree make_path(NodeId n) {
+  Tree t(n);
+  for (NodeId v = 0; v + 1 < n; ++v) t.add_edge(v, v + 1);
+  t.finalize(2);
+  return t;
+}
+
+Tree make_cycle(NodeId n) {
+  if (n < 3) throw std::invalid_argument("make_cycle: n >= 3 required");
+  Tree t(n);
+  for (NodeId v = 0; v + 1 < n; ++v) t.add_edge(v, v + 1);
+  t.add_edge(n - 1, 0);
+  // Do NOT finalize with forest assumptions; cycles are for checker tests.
+  t.finalize(2);
+  return t;
+}
+
+Tree make_star(NodeId leaves) {
+  Tree t(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) t.add_edge(0, v);
+  t.finalize(0);
+  return t;
+}
+
+Tree make_balanced_weight_tree(NodeId w, int delta) {
+  if (w < 1) throw std::invalid_argument("weight tree: w >= 1");
+  if (delta < 3) throw std::invalid_argument("weight tree: delta >= 3");
+  Tree t(w);
+  // BFS-order complete (delta-1)-ary tree: children of node v are
+  // v*(delta-1)+1 .. v*(delta-1)+(delta-1), truncated at w.
+  const std::int64_t fanout = delta - 1;
+  for (NodeId v = 0; v < w; ++v) {
+    for (std::int64_t c = 1; c <= fanout; ++c) {
+      const std::int64_t child = static_cast<std::int64_t>(v) * fanout + c;
+      if (child >= w) break;
+      t.add_edge(v, static_cast<NodeId>(child));
+    }
+  }
+  t.finalize(delta);
+  return t;
+}
+
+HierarchicalInstance make_hierarchical_lower_bound(
+    const std::vector<std::int64_t>& ell) {
+  const int k = static_cast<int>(ell.size());
+  if (k < 1) throw std::invalid_argument("hierarchical: k >= 1");
+  for (std::int64_t l : ell) {
+    if (l < 1) throw std::invalid_argument("hierarchical: ell_i >= 1");
+  }
+
+  HierarchicalInstance inst;
+  inst.k = k;
+  inst.path_lengths = ell;
+  Tree& t = inst.tree;
+
+  // Build level-k path first, then recursively attach lower-level paths.
+  // We materialize iteratively: keep the list of nodes of level i+1 and,
+  // for each, attach a fresh path of ell[i-1] nodes by one endpoint.
+  struct Pending {
+    NodeId node;
+    int level;
+  };
+
+  std::vector<NodeId> current;  // nodes of the level being expanded
+  // Level-k path.
+  for (std::int64_t j = 0; j < ell[static_cast<std::size_t>(k - 1)]; ++j) {
+    const NodeId v = t.add_node();
+    inst.intended_level.push_back(k);
+    if (j > 0) t.add_edge(v - 1, v);
+    current.push_back(v);
+  }
+
+  for (int level = k - 1; level >= 1; --level) {
+    std::vector<NodeId> next;
+    const std::int64_t len = ell[static_cast<std::size_t>(level - 1)];
+    auto attach_path = [&](NodeId host) {
+      NodeId prev = host;
+      for (std::int64_t j = 0; j < len; ++j) {
+        const NodeId v = t.add_node();
+        inst.intended_level.push_back(level);
+        t.add_edge(prev, v);
+        prev = v;
+        next.push_back(v);
+      }
+    };
+    // Each host gets one attached path; hosts with path-degree <= 1 (the
+    // endpoints of their level-(level+1) path) get extra attachments so
+    // that their degree stays >= 3 until their own peeling round — this
+    // is why Figure 3's outermost level-1 paths differ from the rest.
+    for (NodeId host : current) {
+      int host_peers = 0;
+      for (NodeId u : t.neighbors(host)) {
+        if (inst.intended_level[static_cast<std::size_t>(u)] ==
+            inst.intended_level[static_cast<std::size_t>(host)]) {
+          ++host_peers;
+        }
+      }
+      attach_path(host);
+      for (int extra = host_peers; extra < 2; ++extra) attach_path(host);
+    }
+    current = std::move(next);
+  }
+
+  // Degree: interior hosts have 2 path neighbors + 1 attachment = 3;
+  // endpoint hosts 1 + 2 = 3 (isolated hosts 0 + 3 = 3); plus the parent
+  // attachment edge on lower-level path heads: max degree 4.
+  t.finalize(4);
+  return inst;
+}
+
+WeightedInstance make_weighted_construction(
+    const std::vector<std::int64_t>& ell, int delta) {
+  const int k = static_cast<int>(ell.size());
+  if (k < 1) throw std::invalid_argument("weighted: k >= 1");
+  // Skeleton nodes reach degree 4 (Figure-3 boundary fix) plus one
+  // attached weight tree; Lemma-58 parameters always give Delta >= 5.
+  if (delta < 5) throw std::invalid_argument("weighted: delta >= 5");
+
+  // Skeleton with ell'_i = max(1, ell_i / k^{1/k}).
+  std::vector<std::int64_t> ell_prime(ell.size());
+  const double shrink = std::pow(static_cast<double>(k), 1.0 / k);
+  std::int64_t skeleton_nodes_per_level_product = 1;
+  for (std::size_t i = 0; i < ell.size(); ++i) {
+    ell_prime[i] = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::llround(static_cast<double>(ell[i]) / shrink)));
+    skeleton_nodes_per_level_product *= ell_prime[i];
+  }
+  (void)skeleton_nodes_per_level_product;
+
+  HierarchicalInstance skel = make_hierarchical_lower_bound(ell_prime);
+
+  WeightedInstance inst;
+  inst.k = k;
+  inst.delta = delta;
+  inst.intended_level = skel.intended_level;
+  inst.active_count = skel.tree.size();
+  inst.skeleton_lengths = ell_prime;
+
+  // Copy skeleton into a fresh non-finalized tree we can extend.
+  Tree t(skel.tree.size());
+  for (NodeId v = 0; v < skel.tree.size(); ++v) {
+    for (NodeId u : skel.tree.neighbors(v)) {
+      if (u > v) t.add_edge(v, u);
+    }
+    t.set_input(v, static_cast<int>(WeightInput::kActive));
+  }
+
+  // Total weight budget: (k-1) * n' where n' = skeleton size, spread as
+  // n' weight nodes per level in {2..k}, evenly across that level's nodes,
+  // each as a balanced (delta-1)-ary tree attached to the skeleton node.
+  const std::int64_t n_prime = skel.tree.size();
+  std::vector<std::vector<NodeId>> level_nodes(
+      static_cast<std::size_t>(k + 1));
+  for (NodeId v = 0; v < skel.tree.size(); ++v) {
+    level_nodes[static_cast<std::size_t>(
+                    skel.intended_level[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+
+  const std::int64_t fanout = delta - 1;
+  for (int level = 2; level <= k; ++level) {
+    const auto& hosts = level_nodes[static_cast<std::size_t>(level)];
+    if (hosts.empty()) continue;
+    const std::int64_t per_host =
+        std::max<std::int64_t>(1, n_prime / static_cast<std::int64_t>(
+                                               hosts.size()));
+    for (NodeId host : hosts) {
+      // Attach a balanced weight tree of `per_host` nodes rooted at a
+      // fresh node r adjacent to `host`.
+      const NodeId base = t.size();
+      for (std::int64_t j = 0; j < per_host; ++j) {
+        const NodeId v = t.add_node();
+        t.set_input(v, static_cast<int>(WeightInput::kWeight));
+        inst.intended_level.push_back(0);
+        if (j == 0) {
+          t.add_edge(host, v);
+        } else {
+          const NodeId parent =
+              base + static_cast<NodeId>((j - 1) / fanout);
+          t.add_edge(parent, v);
+        }
+      }
+    }
+  }
+
+  inst.weight_count = t.size() - inst.active_count;
+  // Skeleton nodes have degree <= 3 plus one weight-tree root = 4 <= delta;
+  // weight-tree internal nodes have <= (delta-1) children + parent = delta.
+  t.finalize(delta);
+  inst.tree = std::move(t);
+  return inst;
+}
+
+Tree make_caterpillar(NodeId spine, int legs) {
+  Tree t(spine);
+  for (NodeId v = 0; v + 1 < spine; ++v) t.add_edge(v, v + 1);
+  for (NodeId v = 0; v < spine; ++v) {
+    for (int j = 0; j < legs; ++j) {
+      const NodeId leaf = t.add_node();
+      t.add_edge(v, leaf);
+    }
+  }
+  t.finalize(legs + 2);
+  return t;
+}
+
+Tree make_random_tree(NodeId n, int delta, std::uint64_t seed) {
+  if (n < 1) throw std::invalid_argument("random tree: n >= 1");
+  if (delta < 2) throw std::invalid_argument("random tree: delta >= 2");
+  std::mt19937_64 rng(seed);
+  Tree t(1);
+  std::vector<NodeId> attachable = {0};
+  std::vector<int> deg(1, 0);
+  while (t.size() < n) {
+    std::uniform_int_distribution<std::size_t> pick(0, attachable.size() - 1);
+    const std::size_t slot = pick(rng);
+    const NodeId host = attachable[slot];
+    const NodeId v = t.add_node();
+    deg.push_back(1);
+    t.add_edge(host, v);
+    deg[static_cast<std::size_t>(host)]++;
+    if (deg[static_cast<std::size_t>(host)] >= delta) {
+      attachable[slot] = attachable.back();
+      attachable.pop_back();
+    }
+    if (delta > 1) attachable.push_back(v);
+  }
+  t.finalize(delta);
+  return t;
+}
+
+void assign_ids(Tree& t, IdScheme scheme, std::uint64_t seed_or_offset) {
+  const NodeId n = t.size();
+  switch (scheme) {
+    case IdScheme::kSequential:
+      for (NodeId v = 0; v < n; ++v) t.set_local_id(v, v);
+      break;
+    case IdScheme::kShuffled: {
+      std::vector<LocalId> ids(static_cast<std::size_t>(n));
+      std::iota(ids.begin(), ids.end(), LocalId{0});
+      std::mt19937_64 rng(seed_or_offset);
+      std::shuffle(ids.begin(), ids.end(), rng);
+      for (NodeId v = 0; v < n; ++v) {
+        t.set_local_id(v, ids[static_cast<std::size_t>(v)]);
+      }
+      break;
+    }
+    case IdScheme::kBlockOffset:
+      for (NodeId v = 0; v < n; ++v) {
+        t.set_local_id(v, static_cast<LocalId>(v) +
+                              static_cast<LocalId>(seed_or_offset));
+      }
+      break;
+  }
+}
+
+}  // namespace lcl::graph

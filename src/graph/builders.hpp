@@ -1,0 +1,98 @@
+// Instance builders: every graph family used by the paper's upper- and
+// lower-bound arguments.
+//
+//  * paths and caterpillars (baselines, Feuilloley-style path results);
+//  * balanced Delta-regular weight trees (Lemma 23);
+//  * the k-hierarchical lower-bound graph of Definition 18 (Figure 3);
+//  * the weighted construction of Definition 25 (Figure 4);
+//  * uniformly random bounded-degree trees (sanity / average-case probes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/tree.hpp"
+
+namespace lcl::graph {
+
+/// Input labels shared by the weighted problem families (Definition 22).
+enum class WeightInput : int {
+  kActive = 0,  ///< node participates in the hierarchical coloring
+  kWeight = 1,  ///< node only propagates/declines secondary outputs
+};
+
+/// A path on `n` nodes (node i adjacent to i+1).
+[[nodiscard]] Tree make_path(NodeId n);
+
+/// A cycle is never a tree; provided for checker edge-case tests only.
+[[nodiscard]] Tree make_cycle(NodeId n);
+
+/// A star with `leaves` leaves (center = node 0).
+[[nodiscard]] Tree make_star(NodeId leaves);
+
+/// A complete (Delta-1)-ary rooted tree ("balanced Delta-regular tree"):
+/// every internal node has Delta-1 children (the root too; its parent port
+/// is reserved for the attachment edge), truncated to exactly `w` nodes in
+/// BFS order. Root = node 0. This is the weight-tree shape of Lemma 23.
+[[nodiscard]] Tree make_balanced_weight_tree(NodeId w, int delta);
+
+/// Result of building a hierarchical instance: the tree plus the
+/// by-construction level of every node (1..k; level k+1 never occurs in
+/// these instances) for test cross-validation against the peeling process.
+struct HierarchicalInstance {
+  Tree tree;
+  std::vector<int> intended_level;  ///< size n, values in [1, k]
+  int k = 0;
+  std::vector<std::int64_t> path_lengths;  ///< ell_1..ell_k actually used
+};
+
+/// Definition 18 (Figure 3): the k-hierarchical lower-bound graph.
+///
+/// Starts from a level-k path of length ell[k-1]; then, for each level
+/// i = k-1..1, attaches to every node of every level-(i+1) path a fresh
+/// path of length ell[i-1] (connected by one endpoint).
+///
+/// `ell` must have exactly k entries, all >= 1.
+[[nodiscard]] HierarchicalInstance make_hierarchical_lower_bound(
+    const std::vector<std::int64_t>& ell);
+
+/// Definition 25 (Figure 4): the weighted construction for Pi^Z_{Delta,d,k}.
+///
+/// Builds the Definition-18 skeleton with n' ~ n/k nodes using path lengths
+/// ell'_i = ell_i / k^{1/k}, marks all its nodes Active, then distributes
+/// ~n/k Weight nodes per level i in {2..k} as balanced Delta-regular trees
+/// hanging evenly off the level-i skeleton nodes.
+struct WeightedInstance {
+  Tree tree;
+  std::vector<int> intended_level;  ///< 0 for weight nodes, 1..k for active
+  int k = 0;
+  int delta = 0;
+  NodeId active_count = 0;
+  NodeId weight_count = 0;
+  /// The ell'_i = ell_i / k^{1/k} actually used for the skeleton; solvers
+  /// that want the Decline regime set gamma_i to these.
+  std::vector<std::int64_t> skeleton_lengths;
+};
+
+[[nodiscard]] WeightedInstance make_weighted_construction(
+    const std::vector<std::int64_t>& ell, int delta);
+
+/// A caterpillar: a spine path of length `spine` with `legs` pendant
+/// leaves per spine node. Useful as a mixed rake/compress workload.
+[[nodiscard]] Tree make_caterpillar(NodeId spine, int legs);
+
+/// A uniformly random tree with max degree <= delta, built by a
+/// degree-capped random attachment process (deterministic given `seed`).
+[[nodiscard]] Tree make_random_tree(NodeId n, int delta, std::uint64_t seed);
+
+/// ID assignment strategies. All preserve distinctness.
+enum class IdScheme {
+  kSequential,   ///< id(v) = v
+  kShuffled,     ///< random permutation of [0, n)
+  kBlockOffset,  ///< id(v) = v + offset (disjoint blocks across instances)
+};
+
+/// Re-assigns LOCAL IDs according to `scheme`.
+void assign_ids(Tree& t, IdScheme scheme, std::uint64_t seed_or_offset = 0);
+
+}  // namespace lcl::graph

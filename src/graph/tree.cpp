@@ -1,0 +1,112 @@
+#include "graph/tree.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace lcl::graph {
+
+void Tree::validate_ids() const {
+  std::unordered_set<LocalId> seen;
+  seen.reserve(static_cast<std::size_t>(size()));
+  for (NodeId v = 0; v < size(); ++v) {
+    if (!seen.insert(local_id(v)).second) {
+      throw std::logic_error("Tree: duplicate LOCAL id " +
+                             std::to_string(local_id(v)));
+    }
+  }
+}
+
+bool Tree::is_forest() const {
+  // A graph is a forest iff every connected component with c nodes has
+  // exactly c-1 edges.
+  auto [comp, count] = components(*this);
+  std::vector<std::int64_t> nodes(static_cast<std::size_t>(count), 0);
+  std::vector<std::int64_t> edges_twice(static_cast<std::size_t>(count), 0);
+  for (NodeId v = 0; v < size(); ++v) {
+    nodes[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])]++;
+    edges_twice[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])] +=
+        degree(v);
+  }
+  for (int c = 0; c < count; ++c) {
+    if (edges_twice[static_cast<std::size_t>(c)] / 2 !=
+        nodes[static_cast<std::size_t>(c)] - 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Tree::is_tree() const {
+  if (size() == 0) return false;
+  auto [comp, count] = components(*this);
+  (void)comp;
+  return count == 1 && is_forest();
+}
+
+std::vector<int> bfs_distances(const Tree& t, NodeId source) {
+  std::vector<int> dist(static_cast<std::size_t>(t.size()), -1);
+  std::deque<NodeId> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId w : t.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(w)] < 0) {
+        dist[static_cast<std::size_t>(w)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> ball(const Tree& t, NodeId v, int radius) {
+  std::vector<NodeId> out;
+  std::vector<int> dist(static_cast<std::size_t>(t.size()), -1);
+  std::deque<NodeId> queue;
+  dist[static_cast<std::size_t>(v)] = 0;
+  queue.push_back(v);
+  out.push_back(v);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (dist[static_cast<std::size_t>(u)] == radius) continue;
+    for (NodeId w : t.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(w)] < 0) {
+        dist[static_cast<std::size_t>(w)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        out.push_back(w);
+        queue.push_back(w);
+      }
+    }
+  }
+  return out;
+}
+
+std::pair<std::vector<int>, int> components(const Tree& t) {
+  std::vector<int> comp(static_cast<std::size_t>(t.size()), -1);
+  int count = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < t.size(); ++s) {
+    if (comp[static_cast<std::size_t>(s)] >= 0) continue;
+    comp[static_cast<std::size_t>(s)] = count;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId w : t.neighbors(u)) {
+        if (comp[static_cast<std::size_t>(w)] < 0) {
+          comp[static_cast<std::size_t>(w)] = count;
+          queue.push_back(w);
+        }
+      }
+    }
+    ++count;
+  }
+  return {std::move(comp), count};
+}
+
+}  // namespace lcl::graph

@@ -1,0 +1,179 @@
+// Bounded-degree tree/forest substrate for the LOCAL simulator.
+//
+// All LCL instances in this library live on (forests of) trees with a
+// constant maximum degree. Nodes are dense indices [0, n); every node
+// additionally carries a distinct LOCAL-model identifier (ID) that
+// algorithms may use for symmetry breaking, and an input label drawn from
+// the instance's finite input alphabet (stored as a small integer).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lcl::graph {
+
+/// Dense node index, 0-based. Distinct from the LOCAL-model identifier.
+using NodeId = std::int32_t;
+
+/// LOCAL-model identifier; algorithms may only compare/inspect these.
+using LocalId = std::int64_t;
+
+constexpr NodeId kInvalidNode = -1;
+
+/// An undirected bounded-degree forest with O(1)-degree adjacency lists,
+/// per-node LOCAL IDs, and per-node small-integer input labels.
+///
+/// The structure is immutable after `finalize()`; the simulator and all
+/// checkers assume a frozen topology.
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Creates a graph with `n` isolated nodes, IDs preset to 0..n-1.
+  explicit Tree(NodeId n) { reset(n); }
+
+  /// Clears and re-creates `n` isolated nodes with identity IDs.
+  void reset(NodeId n) {
+    if (n < 0) throw std::invalid_argument("Tree: negative node count");
+    adjacency_.assign(static_cast<std::size_t>(n), {});
+    ids_.resize(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) ids_[static_cast<std::size_t>(v)] = v;
+    inputs_.assign(static_cast<std::size_t>(n), 0);
+    finalized_ = false;
+  }
+
+  /// Number of nodes.
+  [[nodiscard]] NodeId size() const {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+
+  /// Adds an undirected edge. Only valid before `finalize()`.
+  void add_edge(NodeId u, NodeId v) {
+    if (finalized_) throw std::logic_error("Tree: add_edge after finalize");
+    check_node(u);
+    check_node(v);
+    if (u == v) throw std::invalid_argument("Tree: self-loop");
+    adjacency_[static_cast<std::size_t>(u)].push_back(v);
+    adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  }
+
+  /// Appends a fresh isolated node and returns its index.
+  NodeId add_node() {
+    if (finalized_) throw std::logic_error("Tree: add_node after finalize");
+    adjacency_.emplace_back();
+    ids_.push_back(static_cast<LocalId>(ids_.size()));
+    inputs_.push_back(0);
+    return size() - 1;
+  }
+
+  /// Freezes the topology and validates bounded degree / forest-ness.
+  /// `max_degree` of 0 skips the degree check.
+  void finalize(int max_degree = 0) {
+    std::size_t edge_twice = 0;
+    for (NodeId v = 0; v < size(); ++v) {
+      const auto& nb = neighbors(v);
+      edge_twice += nb.size();
+      if (max_degree > 0 &&
+          nb.size() > static_cast<std::size_t>(max_degree)) {
+        throw std::logic_error("Tree: node " + std::to_string(v) +
+                               " exceeds max degree " +
+                               std::to_string(max_degree));
+      }
+    }
+    // A forest on n nodes has at most n-1 edges; cycles are caught by the
+    // connected-component acyclicity check below.
+    if (edge_twice / 2 >= static_cast<std::size_t>(size()) + 1) {
+      throw std::logic_error("Tree: too many edges for a forest");
+    }
+    finalized_ = true;
+  }
+
+  /// Neighbors of `v` (stable order; order is part of the port numbering).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    check_node(v);
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+
+  /// Degree of `v`.
+  [[nodiscard]] int degree(NodeId v) const {
+    return static_cast<int>(neighbors(v).size());
+  }
+
+  /// LOCAL identifier of `v`.
+  [[nodiscard]] LocalId local_id(NodeId v) const {
+    check_node(v);
+    return ids_[static_cast<std::size_t>(v)];
+  }
+
+  /// Overrides the LOCAL identifier of `v` (IDs must stay distinct;
+  /// enforced by `validate_ids`).
+  void set_local_id(NodeId v, LocalId id) {
+    check_node(v);
+    ids_[static_cast<std::size_t>(v)] = id;
+  }
+
+  /// Small-integer input label of `v` (meaning defined by the LCL).
+  [[nodiscard]] int input(NodeId v) const {
+    check_node(v);
+    return inputs_[static_cast<std::size_t>(v)];
+  }
+
+  /// Sets the input label of `v`.
+  void set_input(NodeId v, int label) {
+    check_node(v);
+    inputs_[static_cast<std::size_t>(v)] = label;
+  }
+
+  /// Maximum degree over all nodes (0 for the empty graph).
+  [[nodiscard]] int max_degree() const {
+    int dmax = 0;
+    for (NodeId v = 0; v < size(); ++v) dmax = std::max(dmax, degree(v));
+    return dmax;
+  }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::int64_t edge_count() const {
+    std::int64_t twice = 0;
+    for (NodeId v = 0; v < size(); ++v) twice += degree(v);
+    return twice / 2;
+  }
+
+  /// True once `finalize()` has been called.
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  /// Throws unless all LOCAL IDs are pairwise distinct.
+  void validate_ids() const;
+
+  /// True iff the graph is acyclic (a forest). O(n).
+  [[nodiscard]] bool is_forest() const;
+
+  /// True iff the graph is connected and acyclic. O(n).
+  [[nodiscard]] bool is_tree() const;
+
+ private:
+  void check_node(NodeId v) const {
+    if (v < 0 || v >= size()) {
+      throw std::out_of_range("Tree: node index " + std::to_string(v));
+    }
+  }
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<LocalId> ids_;
+  std::vector<int> inputs_;
+  bool finalized_ = false;
+};
+
+/// Breadth-first distances from `source`; unreachable nodes get -1.
+[[nodiscard]] std::vector<int> bfs_distances(const Tree& t,
+                                             NodeId source);
+
+/// Collects all nodes within distance `radius` of `v` (including `v`).
+[[nodiscard]] std::vector<NodeId> ball(const Tree& t, NodeId v, int radius);
+
+/// Connected components: returns (component index per node, #components).
+[[nodiscard]] std::pair<std::vector<int>, int> components(const Tree& t);
+
+}  // namespace lcl::graph

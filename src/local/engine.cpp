@@ -1,0 +1,122 @@
+#include "local/engine.hpp"
+
+#include <algorithm>
+
+namespace lcl::local {
+
+int NodeCtx::degree() const { return engine_.tree_.degree(v_); }
+
+std::int64_t NodeCtx::local_id() const {
+  return engine_.tree_.local_id(v_);
+}
+
+int NodeCtx::input() const { return engine_.tree_.input(v_); }
+
+std::int64_t NodeCtx::n() const { return engine_.tree_.size(); }
+
+std::int64_t NodeCtx::round() const { return engine_.round_; }
+
+const Register& NodeCtx::peek(int port) const {
+  const NodeId u = engine_.tree_.neighbors(v_)[static_cast<std::size_t>(port)];
+  return engine_.prev_[static_cast<std::size_t>(u)];
+}
+
+bool NodeCtx::neighbor_terminated(int port) const {
+  const NodeId u = engine_.tree_.neighbors(v_)[static_cast<std::size_t>(port)];
+  // Terminations become visible one round after they happen (synchronous
+  // semantics): a node terminating in round r is observed from round r+1.
+  return engine_.terminated_[static_cast<std::size_t>(u)] &&
+         engine_.term_round_[static_cast<std::size_t>(u)] < engine_.round_;
+}
+
+Output NodeCtx::neighbor_output(int port) const {
+  const NodeId u = engine_.tree_.neighbors(v_)[static_cast<std::size_t>(port)];
+  if (!neighbor_terminated(port)) {
+    throw std::logic_error("NodeCtx: neighbor output not yet visible");
+  }
+  return engine_.outputs_[static_cast<std::size_t>(u)];
+}
+
+void NodeCtx::publish(Register reg) {
+  engine_.next_[static_cast<std::size_t>(v_)] = std::move(reg);
+}
+
+const Register& NodeCtx::own() const {
+  return engine_.prev_[static_cast<std::size_t>(v_)];
+}
+
+void NodeCtx::terminate(Output out) {
+  if (engine_.terminated_[static_cast<std::size_t>(v_)]) {
+    throw std::logic_error("NodeCtx: double termination");
+  }
+  engine_.terminated_[static_cast<std::size_t>(v_)] = true;
+  engine_.outputs_[static_cast<std::size_t>(v_)] = out;
+  engine_.term_round_[static_cast<std::size_t>(v_)] = engine_.round_;
+}
+
+RunStats Engine::run(Program& program, std::int64_t max_rounds) {
+  const std::size_t n = static_cast<std::size_t>(tree_.size());
+  round_ = 0;
+  prev_.assign(n, {});
+  next_.assign(n, {});
+  terminated_.assign(n, false);
+  outputs_.assign(n, Output{});
+  term_round_.assign(n, 0);
+
+  // Init phase (round 0): registers published here are visible in round 1.
+  std::vector<NodeId> alive;
+  alive.reserve(n);
+  for (NodeId v = 0; v < tree_.size(); ++v) {
+    NodeCtx ctx(*this, v);
+    program.on_init(ctx);
+    // During init, publishes go to next_; fold them into prev_ below.
+    if (!terminated_[static_cast<std::size_t>(v)]) alive.push_back(v);
+  }
+  prev_.swap(next_);
+  // After termination, the node's last publish remains frozen: copy any
+  // init-round publish of terminated nodes too (already in prev_ via swap).
+  next_ = prev_;
+
+  std::int64_t alive_count = static_cast<std::int64_t>(alive.size());
+  while (alive_count > 0) {
+    ++round_;
+    if (round_ > max_rounds) {
+      throw std::runtime_error(
+          "Engine: round limit exceeded with " +
+          std::to_string(alive_count) + " nodes alive");
+    }
+    std::vector<NodeId> still_alive;
+    still_alive.reserve(alive.size());
+    for (NodeId v : alive) {
+      NodeCtx ctx(*this, v);
+      program.on_round(ctx);
+      if (!terminated_[static_cast<std::size_t>(v)]) still_alive.push_back(v);
+    }
+    // Synchronous flip. Only alive nodes may have written; terminated
+    // nodes' entries in next_ already mirror their frozen registers.
+    for (NodeId v : alive) {
+      prev_[static_cast<std::size_t>(v)] = next_[static_cast<std::size_t>(v)];
+    }
+    alive = std::move(still_alive);
+    alive_count = static_cast<std::int64_t>(alive.size());
+  }
+
+  RunStats stats;
+  stats.n = tree_.size();
+  stats.rounds = round_;
+  stats.termination_round = term_round_;
+  stats.output = outputs_;
+  stats.worst_case = 0;
+  stats.total_rounds = 0;
+  for (std::int64_t t : term_round_) {
+    stats.worst_case = std::max(stats.worst_case, t);
+    stats.total_rounds += t;
+  }
+  stats.node_averaged =
+      stats.n == 0 ? 0.0
+                   : static_cast<double>(stats.total_rounds) /
+                         static_cast<double>(stats.n);
+  return stats;
+}
+
+}  // namespace lcl::local

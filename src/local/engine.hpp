@@ -1,0 +1,158 @@
+// Synchronous LOCAL-model simulator.
+//
+// Model. Computation proceeds in synchronous rounds over a fixed
+// bounded-degree graph. Every node holds a *published register* (a small
+// vector of words) that all neighbors can read. In round r each
+// non-terminated node (a) reads its neighbors' registers as of the end of
+// round r-1, (b) updates its own register, and (c) may *terminate* by
+// fixing its output. A terminated node stops computing, but its final
+// register stays readable — the standard termination semantics under which
+// node-averaged complexity is defined (Section 2 of the paper).
+//
+// The engine records T_v = the round in which v terminated; the
+// node-averaged complexity of a run is (1/n) * sum_v T_v, and the
+// worst-case complexity is max_v T_v.
+//
+// Algorithms implement `Program`. The per-round cost of the engine is
+// O(#alive nodes), so the total simulation cost is O(sum_v T_v) — exactly
+// the quantity the paper's theorems bound, which keeps fast instances fast.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/tree.hpp"
+
+namespace lcl::local {
+
+using graph::NodeId;
+using graph::Tree;
+
+/// A published register: a small vector of words readable by neighbors.
+using Register = std::vector<std::int64_t>;
+
+/// Per-node output of an LCL algorithm: a primary label and an optional
+/// secondary label (used by the weighted problems of Definition 22).
+struct Output {
+  int primary = -1;
+  int secondary = -1;
+};
+
+class Engine;
+
+/// Node-local view handed to `Program` callbacks. All information reachable
+/// through a `NodeCtx` is information the node legitimately has in the
+/// LOCAL model: its own identifiers/state and its neighbors' registers.
+class NodeCtx {
+ public:
+  NodeCtx(Engine& engine, NodeId v) : engine_(engine), v_(v) {}
+
+  [[nodiscard]] NodeId node() const { return v_; }
+  [[nodiscard]] int degree() const;
+  [[nodiscard]] std::int64_t local_id() const;
+  [[nodiscard]] int input() const;
+  /// Number of nodes in the graph (global knowledge, standard in LOCAL).
+  [[nodiscard]] std::int64_t n() const;
+  /// Current round number (1-based; 0 during on_init).
+  [[nodiscard]] std::int64_t round() const;
+
+  /// Neighbor's register as of the end of the previous round.
+  [[nodiscard]] const Register& peek(int port) const;
+  /// Whether the neighbor on `port` has terminated. Like registers,
+  /// terminations become visible one round after they happen (a node
+  /// terminating in round r is observed from round r+1) — synchronous
+  /// semantics with no same-round information leaks.
+  [[nodiscard]] bool neighbor_terminated(int port) const;
+  /// Neighbor's fixed output; only valid if `neighbor_terminated(port)`.
+  [[nodiscard]] Output neighbor_output(int port) const;
+
+  /// Overwrites this node's register (visible to neighbors next round).
+  void publish(Register reg);
+  /// Reads this node's own current register (as published).
+  [[nodiscard]] const Register& own() const;
+
+  /// Terminates this node with the given output; `T_v` = current round.
+  void terminate(Output out);
+  void terminate(int primary, int secondary = -1) {
+    terminate(Output{primary, secondary});
+  }
+
+ private:
+  Engine& engine_;
+  NodeId v_;
+};
+
+/// A distributed algorithm. One `Program` instance serves the whole run;
+/// per-node state must live in engine registers or in program-owned
+/// per-node arrays (indexed by NodeId) that the program only accesses for
+/// the node passed to the callback.
+class Program {
+ public:
+  virtual ~Program() = default;
+  /// Called once per node before round 1 (round() == 0). May publish and
+  /// may terminate (yielding T_v = 0, i.e., constant-time termination).
+  virtual void on_init(NodeCtx& ctx) = 0;
+  /// Called once per round for each non-terminated node.
+  virtual void on_round(NodeCtx& ctx) = 0;
+};
+
+/// Result of a run.
+struct RunStats {
+  std::int64_t n = 0;
+  std::int64_t rounds = 0;  ///< rounds executed until all terminated
+  double node_averaged = 0.0;
+  std::int64_t worst_case = 0;
+  std::int64_t total_rounds = 0;  ///< sum_v T_v
+  std::vector<std::int64_t> termination_round;  ///< T_v per node
+  std::vector<Output> output;                   ///< fixed outputs per node
+
+  [[nodiscard]] std::vector<int> primaries() const {
+    std::vector<int> p;
+    p.reserve(output.size());
+    for (const Output& o : output) p.push_back(o.primary);
+    return p;
+  }
+  [[nodiscard]] std::vector<int> secondaries() const {
+    std::vector<int> s;
+    s.reserve(output.size());
+    for (const Output& o : output) s.push_back(o.secondary);
+    return s;
+  }
+};
+
+/// The synchronous engine. Construct with a finalized graph, `run` a
+/// program; the engine enforces the synchronous schedule and records
+/// termination rounds.
+class Engine {
+ public:
+  explicit Engine(const Tree& tree) : tree_(tree) {
+    if (!tree.finalized()) {
+      throw std::invalid_argument("Engine: tree must be finalized");
+    }
+  }
+
+  /// Runs `program` to completion (or `max_rounds`). Throws if any node
+  /// fails to terminate within the bound.
+  RunStats run(Program& program,
+               std::int64_t max_rounds = std::numeric_limits<int>::max());
+
+  [[nodiscard]] const Tree& tree() const { return tree_; }
+
+ private:
+  friend class NodeCtx;
+
+  const Tree& tree_;
+  std::int64_t round_ = 0;
+  // Double-buffered registers: reads see prev_, writes go to next_.
+  std::vector<Register> prev_;
+  std::vector<Register> next_;
+  std::vector<bool> terminated_;
+  std::vector<Output> outputs_;
+  std::vector<std::int64_t> term_round_;
+};
+
+}  // namespace lcl::local

@@ -1,0 +1,48 @@
+// Iterated-logarithm utilities and the virtual-log* model knob.
+//
+// For every n that fits in memory, log*(n) <= 5, so complexities of the
+// form (log* n)^c cannot be separated by direct simulation. Following
+// DESIGN.md (Substitution 1), benches sweep a "virtual log*" parameter
+// Lambda: the symmetry-breaking subroutine still computes a *valid*
+// coloring via real Cole-Vishkin reduction, but its round account is
+// padded to Lambda, modeling an ID space of tower height Lambda.
+#pragma once
+
+#include <cstdint>
+
+namespace lcl::local {
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int ilog2(std::uint64_t x) {
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// log*(n): number of times log2 must be iterated before the value drops
+/// to <= 1. log*(1) = 0, log*(2) = 1, log*(4) = 2, log*(16) = 3,
+/// log*(65536) = 4, log*(2^65536) = 5.
+[[nodiscard]] constexpr int log_star(std::uint64_t n) {
+  int r = 0;
+  while (n > 1) {
+    n = static_cast<std::uint64_t>(ilog2(n));
+    ++r;
+  }
+  return r;
+}
+
+/// 2-tower: tower(0)=1, tower(1)=2, tower(2)=4, tower(3)=16, tower(4)=65536.
+/// Saturates at the largest uint64 tower (tower(5) overflows).
+[[nodiscard]] constexpr std::uint64_t tower(int h) {
+  std::uint64_t v = 1;
+  for (int i = 0; i < h; ++i) {
+    if (v >= 64) return ~std::uint64_t{0};  // saturate
+    v = std::uint64_t{1} << v;
+  }
+  return v;
+}
+
+}  // namespace lcl::local

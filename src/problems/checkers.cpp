@@ -1,0 +1,644 @@
+#include "problems/checkers.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/builders.hpp"
+#include "problems/levels.hpp"
+
+namespace lcl::problems {
+
+namespace {
+
+std::string node_str(NodeId v) { return "node " + std::to_string(v); }
+
+Color as_color(int raw) { return static_cast<Color>(raw); }
+
+bool valid_color(int raw, Variant variant) {
+  if (raw < 0) return false;
+  if (variant == Variant::kTwoHalf) return raw <= static_cast<int>(Color::kD);
+  return raw <= static_cast<int>(Color::kY);
+}
+
+}  // namespace
+
+CheckResult check_hierarchical_coloring(const Tree& tree, int k,
+                                        Variant variant,
+                                        const std::vector<int>& outputs,
+                                        std::vector<int> levels) {
+  const NodeId n = tree.size();
+  if (static_cast<NodeId>(outputs.size()) != n) {
+    return CheckResult::fail("output vector size mismatch");
+  }
+  if (levels.empty()) levels = compute_levels(tree, k);
+
+  auto lv = [&](NodeId v) { return levels[static_cast<std::size_t>(v)]; };
+  auto out = [&](NodeId v) {
+    return as_color(outputs[static_cast<std::size_t>(v)]);
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (!valid_color(outputs[static_cast<std::size_t>(v)], variant)) {
+      return CheckResult::fail(node_str(v) + ": label out of alphabet");
+    }
+    const int level = lv(v);
+    const Color c = out(v);
+
+    // Level 1 cannot be Exempt.
+    if (level == 1 && c == Color::kE) {
+      return CheckResult::fail(node_str(v) + ": level-1 node labeled E");
+    }
+    // Level k+1 must be Exempt.
+    if (level == k + 1 && c != Color::kE) {
+      return CheckResult::fail(node_str(v) + ": level-(k+1) node not E");
+    }
+
+    // E iff adjacent lower-level node labeled W/B/E (levels 2..k);
+    // level-k additionally requires no lower-level D neighbor.
+    if (level >= 2 && level <= k) {
+      bool lower_colored_or_e = false;
+      bool lower_declined = false;
+      for (NodeId u : tree.neighbors(v)) {
+        if (lv(u) < level) {
+          const Color cu = out(u);
+          if (is_two_color(cu) || cu == Color::kE) lower_colored_or_e = true;
+          if (cu == Color::kD) lower_declined = true;
+        }
+      }
+      const bool e_allowed =
+          lower_colored_or_e && !(level == k && lower_declined);
+      if (c == Color::kE && !e_allowed) {
+        return CheckResult::fail(node_str(v) + ": E without entitlement");
+      }
+      if (c != Color::kE && lower_colored_or_e &&
+          !(level == k && lower_declined)) {
+        return CheckResult::fail(node_str(v) +
+                                 ": must be E (lower neighbor colored)");
+      }
+    }
+
+    // W/B constraints on levels 1..k (2.5) resp. 1..k-1 plus separate
+    // level-k rules (3.5).
+    const bool wb_level =
+        (variant == Variant::kTwoHalf) ? (level >= 1 && level <= k)
+                                       : (level >= 1 && level <= k - 1);
+    if (wb_level) {
+      if (is_three_color(c)) {
+        return CheckResult::fail(node_str(v) + ": R/G/Y below level k");
+      }
+      if (is_two_color(c)) {
+        for (NodeId u : tree.neighbors(v)) {
+          if (lv(u) != level) continue;
+          const Color cu = out(u);
+          if (cu == c || cu == Color::kD) {
+            return CheckResult::fail(node_str(v) +
+                                     ": W/B conflicts with same-level " +
+                                     to_string(cu) + " neighbor");
+          }
+        }
+      }
+    }
+
+    if (level == k) {
+      if (c == Color::kD) {
+        return CheckResult::fail(node_str(v) + ": level-k node labeled D");
+      }
+      if (variant == Variant::kThreeHalf) {
+        if (is_two_color(c)) {
+          return CheckResult::fail(node_str(v) +
+                                   ": level-k W/B in 3.5-coloring");
+        }
+        if (is_three_color(c)) {
+          for (NodeId u : tree.neighbors(v)) {
+            if (lv(u) == level && out(u) == c) {
+              return CheckResult::fail(node_str(v) +
+                                       ": level-k 3-coloring conflict");
+            }
+          }
+        }
+      } else {
+        // 2.5-coloring: the same-level W/B conflict check above applies.
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_weighted(const Tree& tree, int k, int d, Variant variant,
+                           const std::vector<local::Output>& outputs) {
+  const NodeId n = tree.size();
+  if (static_cast<NodeId>(outputs.size()) != n) {
+    return CheckResult::fail("output vector size mismatch");
+  }
+  auto is_active = [&](NodeId v) {
+    return tree.input(v) == static_cast<int>(graph::WeightInput::kActive);
+  };
+  auto wout = [&](NodeId v) {
+    return static_cast<WeightOut>(outputs[static_cast<std::size_t>(v)].primary);
+  };
+
+  // Property 1: active components satisfy k-hierarchical Z-coloring.
+  std::vector<char> active_mask(static_cast<std::size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    active_mask[static_cast<std::size_t>(v)] = is_active(v) ? 1 : 0;
+  }
+  {
+    // Build the induced active subgraph with an index map, check it.
+    std::vector<NodeId> to_sub(static_cast<std::size_t>(n), graph::kInvalidNode);
+    std::vector<NodeId> from_sub;
+    for (NodeId v = 0; v < n; ++v) {
+      if (is_active(v)) {
+        to_sub[static_cast<std::size_t>(v)] =
+            static_cast<NodeId>(from_sub.size());
+        from_sub.push_back(v);
+      }
+    }
+    Tree sub(static_cast<NodeId>(from_sub.size()));
+    for (NodeId v = 0; v < n; ++v) {
+      if (!is_active(v)) continue;
+      for (NodeId u : tree.neighbors(v)) {
+        if (is_active(u) && u > v) {
+          sub.add_edge(to_sub[static_cast<std::size_t>(v)],
+                       to_sub[static_cast<std::size_t>(u)]);
+        }
+      }
+    }
+    sub.finalize(0);
+    std::vector<int> sub_out(from_sub.size());
+    for (std::size_t i = 0; i < from_sub.size(); ++i) {
+      sub_out[i] = outputs[static_cast<std::size_t>(from_sub[i])].primary;
+    }
+    CheckResult inner =
+        check_hierarchical_coloring(sub, k, variant, sub_out);
+    if (!inner.ok) {
+      return CheckResult::fail("active subgraph: " + inner.reason);
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_active(v)) continue;
+    const int raw = outputs[static_cast<std::size_t>(v)].primary;
+    if (raw < 0 || raw > static_cast<int>(WeightOut::kCopy)) {
+      return CheckResult::fail(node_str(v) + ": weight label out of range");
+    }
+    const WeightOut w = wout(v);
+
+    bool has_active_neighbor = false;
+    int declining_neighbors = 0;
+    int connect_support = 0;  // active neighbors or Connect-ing weight nbrs
+    for (NodeId u : tree.neighbors(v)) {
+      if (is_active(u)) {
+        has_active_neighbor = true;
+        ++connect_support;
+      } else {
+        if (wout(u) == WeightOut::kDecline) ++declining_neighbors;
+        if (wout(u) == WeightOut::kConnect) ++connect_support;
+      }
+    }
+
+    // Property 2: weight node adjacent to an active node must not Decline.
+    if (has_active_neighbor && w == WeightOut::kDecline) {
+      return CheckResult::fail(node_str(v) +
+                               ": Decline while adjacent to active node");
+    }
+    // Property 3: Connect needs >= 2 supporting neighbors.
+    if (w == WeightOut::kConnect && connect_support < 2) {
+      return CheckResult::fail(node_str(v) + ": Connect with support " +
+                               std::to_string(connect_support));
+    }
+    // Property 4: Copy tolerates at most d declining neighbors.
+    if (w == WeightOut::kCopy && declining_neighbors > d) {
+      return CheckResult::fail(node_str(v) + ": Copy with " +
+                               std::to_string(declining_neighbors) +
+                               " > d Decline neighbors");
+    }
+    // Property 5: secondary output consistency for Copy nodes.
+    if (w == WeightOut::kCopy) {
+      const int sec = outputs[static_cast<std::size_t>(v)].secondary;
+      if (!valid_color(sec, variant)) {
+        return CheckResult::fail(node_str(v) + ": Copy without secondary");
+      }
+      if (has_active_neighbor) {
+        bool matches = false;
+        for (NodeId u : tree.neighbors(v)) {
+          if (is_active(u) &&
+              outputs[static_cast<std::size_t>(u)].primary == sec) {
+            matches = true;
+            break;
+          }
+        }
+        if (!matches) {
+          return CheckResult::fail(
+              node_str(v) + ": secondary matches no active neighbor");
+        }
+      }
+      for (NodeId u : tree.neighbors(v)) {
+        if (!is_active(u) && wout(u) == WeightOut::kCopy &&
+            outputs[static_cast<std::size_t>(u)].secondary != sec) {
+          return CheckResult::fail(node_str(v) +
+                                   ": adjacent Copy secondaries differ");
+        }
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_dfree_weight(const Tree& tree, int d,
+                               const std::vector<int>& outputs) {
+  const NodeId n = tree.size();
+  if (static_cast<NodeId>(outputs.size()) != n) {
+    return CheckResult::fail("output vector size mismatch");
+  }
+  auto wout = [&](NodeId v) {
+    return static_cast<WeightOut>(outputs[static_cast<std::size_t>(v)]);
+  };
+  auto is_a = [&](NodeId v) {
+    return tree.input(v) == static_cast<int>(DFreeInput::kA);
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    const int raw = outputs[static_cast<std::size_t>(v)];
+    if (raw < 0 || raw > static_cast<int>(WeightOut::kCopy)) {
+      return CheckResult::fail(node_str(v) + ": label out of range");
+    }
+    const WeightOut w = wout(v);
+    int connect_neighbors = 0;
+    int decline_neighbors = 0;
+    for (NodeId u : tree.neighbors(v)) {
+      if (wout(u) == WeightOut::kConnect) ++connect_neighbors;
+      if (wout(u) == WeightOut::kDecline) ++decline_neighbors;
+    }
+    // Property 1: Connect support (A nodes need 1, W nodes need 2).
+    if (w == WeightOut::kConnect) {
+      const int need = is_a(v) ? 1 : 2;
+      if (connect_neighbors < need) {
+        return CheckResult::fail(node_str(v) + ": Connect with " +
+                                 std::to_string(connect_neighbors) +
+                                 " Connect neighbors, needs " +
+                                 std::to_string(need));
+      }
+    }
+    // Property 2: Copy tolerates at most d Decline neighbors.
+    if (w == WeightOut::kCopy && decline_neighbors > d) {
+      return CheckResult::fail(node_str(v) + ": Copy with " +
+                               std::to_string(decline_neighbors) +
+                               " > d Decline neighbors");
+    }
+    // Property 3: A nodes never Decline.
+    if (is_a(v) && w == WeightOut::kDecline) {
+      return CheckResult::fail(node_str(v) + ": A-node declined");
+    }
+  }
+  return CheckResult::pass();
+}
+
+namespace {
+
+/// Looks up the port of `u` in v's adjacency (the reverse port).
+int port_of(const Tree& tree, NodeId v, NodeId u) {
+  const auto nb = tree.neighbors(v);
+  for (std::size_t p = 0; p < nb.size(); ++p) {
+    if (nb[p] == u) return static_cast<int>(p);
+  }
+  return -1;
+}
+
+CheckResult check_orientation_consistency(const Tree& tree,
+                                          const OrientationMap& orient) {
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    const auto nb = tree.neighbors(v);
+    if (orient[static_cast<std::size_t>(v)].size() != nb.size()) {
+      return CheckResult::fail(node_str(v) + ": orientation arity mismatch");
+    }
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      const NodeId u = nb[p];
+      const int q = port_of(tree, u, v);
+      const EdgeDir mine = orient[static_cast<std::size_t>(v)][p];
+      const EdgeDir theirs =
+          orient[static_cast<std::size_t>(u)][static_cast<std::size_t>(q)];
+      const bool consistent =
+          (mine == EdgeDir::kNone && theirs == EdgeDir::kNone) ||
+          (mine == EdgeDir::kOutgoing && theirs == EdgeDir::kIncoming) ||
+          (mine == EdgeDir::kIncoming && theirs == EdgeDir::kOutgoing);
+      if (!consistent) {
+        return CheckResult::fail("edge {" + std::to_string(v) + "," +
+                                 std::to_string(u) +
+                                 "}: inconsistent orientation");
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+CheckResult check_hierarchical_labeling(const Tree& tree, int k,
+                                        const std::vector<int>& labels,
+                                        const OrientationMap& orient) {
+  const NodeId n = tree.size();
+  if (static_cast<NodeId>(labels.size()) != n ||
+      static_cast<NodeId>(orient.size()) != n) {
+    return CheckResult::fail("labels/orientation size mismatch");
+  }
+  if (CheckResult c = check_orientation_consistency(tree, orient); !c.ok) {
+    return c;
+  }
+
+  const int max_label = rake_label(k);
+  for (NodeId v = 0; v < n; ++v) {
+    const int lab = labels[static_cast<std::size_t>(v)];
+    if (lab < 0 || lab > max_label) {
+      return CheckResult::fail(node_str(v) + ": label out of range");
+    }
+    const auto nb = tree.neighbors(v);
+    const auto& ov = orient[static_cast<std::size_t>(v)];
+
+    int outgoing = 0;
+    int compress_neighbors_same_label = 0;
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      if (ov[p] == EdgeDir::kOutgoing) ++outgoing;
+      const int nl = labels[static_cast<std::size_t>(nb[p])];
+      if (!is_rake_label(nl) && nl == lab) ++compress_neighbors_same_label;
+    }
+
+    // Rule 1: all edges of a rake-labeled node are oriented.
+    if (is_rake_label(lab)) {
+      for (std::size_t p = 0; p < nb.size(); ++p) {
+        if (ov[p] == EdgeDir::kNone) {
+          return CheckResult::fail(node_str(v) +
+                                   ": rake node with unoriented edge");
+        }
+      }
+    }
+
+    // Rule 2: at most one outgoing edge; a compress node with two
+    // same-label compress neighbors must have none.
+    if (!is_rake_label(lab) && compress_neighbors_same_label >= 2) {
+      if (outgoing != 0) {
+        return CheckResult::fail(node_str(v) +
+                                 ": interior compress node with outgoing edge");
+      }
+    } else if (outgoing > 1) {
+      return CheckResult::fail(node_str(v) + ": multiple outgoing edges");
+    }
+
+    // Rule 3: orientations respect the label order.
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      if (ov[p] == EdgeDir::kOutgoing) {
+        const int nl = labels[static_cast<std::size_t>(nb[p])];
+        if (nl < lab) {
+          return CheckResult::fail(node_str(v) +
+                                   ": outgoing edge to lower label");
+        }
+      }
+    }
+
+    // Rule 4: each compress label induces disjoint paths (degree <= 2
+    // within the label).
+    if (!is_rake_label(lab) && compress_neighbors_same_label > 2) {
+      return CheckResult::fail(node_str(v) +
+                               ": compress label induces degree > 2");
+    }
+
+    // Rule 5: distinct compress labels are never adjacent.
+    if (!is_rake_label(lab)) {
+      for (std::size_t p = 0; p < nb.size(); ++p) {
+        const int nl = labels[static_cast<std::size_t>(nb[p])];
+        if (!is_rake_label(nl) && nl != lab) {
+          return CheckResult::fail(node_str(v) +
+                                   ": adjacent distinct compress labels");
+        }
+      }
+    }
+
+    // Rule 6: a rake node has at most one compress neighbor pointing at
+    // it; if one exists, all in-pointing neighbors have strictly lower
+    // labels.
+    if (is_rake_label(lab)) {
+      int compress_in = 0;
+      for (std::size_t p = 0; p < nb.size(); ++p) {
+        if (ov[p] != EdgeDir::kIncoming) continue;
+        const int nl = labels[static_cast<std::size_t>(nb[p])];
+        if (!is_rake_label(nl)) ++compress_in;
+      }
+      if (compress_in > 1) {
+        return CheckResult::fail(node_str(v) +
+                                 ": two compress paths point at rake node");
+      }
+      if (compress_in == 1) {
+        for (std::size_t p = 0; p < nb.size(); ++p) {
+          if (ov[p] != EdgeDir::kIncoming) continue;
+          const int nl = labels[static_cast<std::size_t>(nb[p])];
+          if (nl >= lab) {
+            return CheckResult::fail(
+                node_str(v) + ": in-pointing neighbor with label >= own");
+          }
+        }
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_weight_augmented(const Tree& tree, int k,
+                                   const std::vector<local::Output>& outputs,
+                                   const OrientationMap& orient) {
+  const NodeId n = tree.size();
+  if (static_cast<NodeId>(outputs.size()) != n ||
+      static_cast<NodeId>(orient.size()) != n) {
+    return CheckResult::fail("outputs/orientation size mismatch");
+  }
+  auto is_active = [&](NodeId v) {
+    return tree.input(v) == static_cast<int>(graph::WeightInput::kActive);
+  };
+
+  // Rule 1: active subgraph solves k-hierarchical 2.5-coloring.
+  {
+    std::vector<NodeId> to_sub(static_cast<std::size_t>(n), graph::kInvalidNode);
+    std::vector<NodeId> from_sub;
+    for (NodeId v = 0; v < n; ++v) {
+      if (is_active(v)) {
+        to_sub[static_cast<std::size_t>(v)] =
+            static_cast<NodeId>(from_sub.size());
+        from_sub.push_back(v);
+      }
+    }
+    Tree sub(static_cast<NodeId>(from_sub.size()));
+    for (NodeId v = 0; v < n; ++v) {
+      if (!is_active(v)) continue;
+      for (NodeId u : tree.neighbors(v)) {
+        if (is_active(u) && u > v) {
+          sub.add_edge(to_sub[static_cast<std::size_t>(v)],
+                       to_sub[static_cast<std::size_t>(u)]);
+        }
+      }
+    }
+    sub.finalize(0);
+    std::vector<int> sub_out(from_sub.size());
+    for (std::size_t i = 0; i < from_sub.size(); ++i) {
+      sub_out[i] = outputs[static_cast<std::size_t>(from_sub[i])].primary;
+    }
+    CheckResult inner =
+        check_hierarchical_coloring(sub, k, Variant::kTwoHalf, sub_out);
+    if (!inner.ok) {
+      return CheckResult::fail("active subgraph: " + inner.reason);
+    }
+  }
+
+  // Rule 2: weight subgraph solves k-hierarchical labeling. We check the
+  // Definition-63 rules on the weight-induced subgraph, ignoring ports
+  // that lead to active nodes (those are governed by Rule 3).
+  {
+    std::vector<NodeId> to_sub(static_cast<std::size_t>(n), graph::kInvalidNode);
+    std::vector<NodeId> from_sub;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!is_active(v)) {
+        to_sub[static_cast<std::size_t>(v)] =
+            static_cast<NodeId>(from_sub.size());
+        from_sub.push_back(v);
+      }
+    }
+    Tree sub(static_cast<NodeId>(from_sub.size()));
+    for (NodeId v = 0; v < n; ++v) {
+      if (is_active(v)) continue;
+      for (NodeId u : tree.neighbors(v)) {
+        if (!is_active(u) && u > v) {
+          sub.add_edge(to_sub[static_cast<std::size_t>(v)],
+                       to_sub[static_cast<std::size_t>(u)]);
+        }
+      }
+    }
+    sub.finalize(0);
+    std::vector<int> sub_labels(from_sub.size());
+    OrientationMap sub_orient(from_sub.size());
+    for (std::size_t i = 0; i < from_sub.size(); ++i) {
+      const NodeId v = from_sub[i];
+      sub_labels[i] = outputs[static_cast<std::size_t>(v)].primary;
+      const auto nb = tree.neighbors(v);
+      for (std::size_t p = 0; p < nb.size(); ++p) {
+        if (!is_active(nb[p])) {
+          sub_orient[i].push_back(
+              orient[static_cast<std::size_t>(v)][p]);
+        }
+      }
+    }
+    CheckResult inner =
+        check_hierarchical_labeling(sub, k, sub_labels, sub_orient);
+    if (!inner.ok) {
+      return CheckResult::fail("weight subgraph: " + inner.reason);
+    }
+  }
+
+  // Rules 3-5: orientation toward actives and secondary-output copying.
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_active(v)) continue;
+    const auto nb = tree.neighbors(v);
+    const auto& ov = orient[static_cast<std::size_t>(v)];
+    if (ov.size() != nb.size()) {
+      return CheckResult::fail(node_str(v) + ": orientation arity mismatch");
+    }
+    const int secondary = outputs[static_cast<std::size_t>(v)].secondary;
+    const int lab = outputs[static_cast<std::size_t>(v)].primary;
+
+    bool has_active_neighbor = false;
+    int outgoing_to_active = 0;
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      if (!is_active(nb[p])) continue;
+      has_active_neighbor = true;
+      if (ov[p] == EdgeDir::kOutgoing) {
+        ++outgoing_to_active;
+        // Rule 3: secondary equals that active node's output.
+        if (secondary != outputs[static_cast<std::size_t>(nb[p])].primary) {
+          return CheckResult::fail(
+              node_str(v) + ": secondary differs from pointed-to active");
+        }
+      }
+    }
+    if (has_active_neighbor && outgoing_to_active != 1) {
+      return CheckResult::fail(node_str(v) +
+                               ": must point to exactly one active neighbor");
+    }
+
+    // Rule 5: a compress node declines iff it is not adjacent to an
+    // active node. A rake node may decline only if its pointee declined
+    // (the permissive reading that makes Rules 4 and 5 mutually
+    // consistent; cf. the subtree argument in Lemma 68).
+    const bool declines = (secondary == -1);
+    bool pointee_declined = false;
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      if (ov[p] == EdgeDir::kOutgoing && !is_active(nb[p]) &&
+          outputs[static_cast<std::size_t>(nb[p])].secondary == -1) {
+        pointee_declined = true;
+      }
+    }
+    if (declines) {
+      if (has_active_neighbor) {
+        return CheckResult::fail(node_str(v) +
+                                 ": declines while adjacent to active");
+      }
+      if (is_rake_label(lab) && !pointee_declined) {
+        return CheckResult::fail(
+            node_str(v) + ": rake node declines without declining pointee");
+      }
+    }
+    if (!is_rake_label(lab) && !has_active_neighbor && !declines) {
+      return CheckResult::fail(node_str(v) +
+                               ": compress node must decline");
+    }
+
+    // Rule 4: weight nodes pointing toward weight nodes copy their
+    // secondary output (unless the target declines as a compress node —
+    // the spirit of Definition 67 is that rake chains propagate the copy;
+    // compress nodes break the chain with Decline).
+    if (!declines) {
+      for (std::size_t p = 0; p < nb.size(); ++p) {
+        if (ov[p] != EdgeDir::kOutgoing || is_active(nb[p])) continue;
+        const NodeId u = nb[p];
+        const int u_sec = outputs[static_cast<std::size_t>(u)].secondary;
+        if (u_sec != -1 && u_sec != secondary) {
+          return CheckResult::fail(node_str(v) +
+                                   ": secondary differs from pointed-to "
+                                   "weight node");
+        }
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_two_coloring(const Tree& tree,
+                               const std::vector<int>& outputs) {
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    const Color c = as_color(outputs[static_cast<std::size_t>(v)]);
+    if (!is_two_color(c)) {
+      return CheckResult::fail(node_str(v) + ": not a 2-coloring color");
+    }
+    for (NodeId u : tree.neighbors(v)) {
+      if (outputs[static_cast<std::size_t>(u)] ==
+          outputs[static_cast<std::size_t>(v)]) {
+        return CheckResult::fail(node_str(v) + ": 2-coloring conflict");
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_three_coloring(const Tree& tree,
+                                 const std::vector<int>& outputs) {
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    const Color c = as_color(outputs[static_cast<std::size_t>(v)]);
+    if (!is_three_color(c)) {
+      return CheckResult::fail(node_str(v) + ": not a 3-coloring color");
+    }
+    for (NodeId u : tree.neighbors(v)) {
+      if (outputs[static_cast<std::size_t>(u)] ==
+          outputs[static_cast<std::size_t>(v)]) {
+        return CheckResult::fail(node_str(v) + ": 3-coloring conflict");
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace lcl::problems

@@ -1,0 +1,100 @@
+// Centralized validity checkers for every LCL family in the library.
+//
+// Checkers are deliberately independent of the solvers (a solver never
+// grades its own homework): they re-derive levels from the graph, decode
+// raw integer outputs, and verify the paper's local constraints verbatim.
+// Each returns a `CheckResult` whose `reason` pinpoints the first
+// violation, which the failure-injection tests rely on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "local/engine.hpp"
+#include "problems/labels.hpp"
+
+namespace lcl::problems {
+
+using graph::NodeId;
+using graph::Tree;
+
+/// Verdict of a checker.
+struct CheckResult {
+  bool ok = true;
+  std::string reason;
+
+  static CheckResult pass() { return {}; }
+  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+};
+
+/// Definition 8 / 9: k-hierarchical 2.5- or 3.5-coloring.
+///
+/// `outputs[v]` is a `Color` cast to int. `levels` may be empty, in which
+/// case they are recomputed from the tree via `compute_levels`.
+///
+/// Level-k exemption policy (see DESIGN.md): a level-k node may be E only
+/// if some lower-level neighbor is W/B/E and no lower-level neighbor is D.
+[[nodiscard]] CheckResult check_hierarchical_coloring(
+    const Tree& tree, int k, Variant variant,
+    const std::vector<int>& outputs, std::vector<int> levels = {});
+
+/// Definition 22: the weighted problem Pi^Z_{Delta,d,k}.
+///
+/// Inputs on the tree: graph::WeightInput (0 = Active, 1 = Weight).
+/// Active nodes output a `Color` in `primary`; weight nodes output a
+/// `WeightOut` in `primary` plus, when Copy, a `Color` in `secondary`.
+[[nodiscard]] CheckResult check_weighted(
+    const Tree& tree, int k, int d, Variant variant,
+    const std::vector<local::Output>& outputs);
+
+/// Section 7: the d-free weight problem.
+///
+/// Inputs: DFreeInput (0 = A, 1 = W). Outputs: WeightOut.
+[[nodiscard]] CheckResult check_dfree_weight(
+    const Tree& tree, int d, const std::vector<int>& outputs);
+
+/// Orientation of one incident edge, from the viewpoint of a node.
+enum class EdgeDir : int {
+  kNone = 0,      ///< unoriented
+  kOutgoing = 1,  ///< oriented away from this node
+  kIncoming = 2,  ///< oriented toward this node
+};
+
+/// Per-node port orientations; `orient[v][p]` describes the edge on port p
+/// of node v. Consistency (u->v seen from both sides) is checked.
+using OrientationMap = std::vector<std::vector<EdgeDir>>;
+
+/// Labels of the k-hierarchical labeling problem (Definition 63), encoded
+/// as ints: rake label R_i = 2*i - 2 (i in [1,k]); compress label
+/// C_i = 2*i - 1 (i in [1,k-1]). This packing realizes the total order
+/// R1 < C1 < R2 < ... < C_{k-1} < Rk by integer comparison.
+[[nodiscard]] constexpr int rake_label(int i) { return 2 * i - 2; }
+[[nodiscard]] constexpr int compress_label(int i) { return 2 * i - 1; }
+[[nodiscard]] constexpr bool is_rake_label(int lab) { return lab % 2 == 0; }
+[[nodiscard]] constexpr int label_index(int lab) { return lab / 2 + 1; }
+
+/// Definition 63: k-hierarchical labeling (labels + orientation).
+[[nodiscard]] CheckResult check_hierarchical_labeling(
+    const Tree& tree, int k, const std::vector<int>& labels,
+    const OrientationMap& orient);
+
+/// Definition 67: k-hierarchical weight-augmented 2.5-coloring.
+///
+/// Active nodes: `primary` = Color for the 2.5-coloring on the active
+/// subgraph. Weight nodes: `primary` = Definition-63 label, `secondary` =
+/// Color or -1 for Decline. `orient` covers weight-node ports (active
+/// nodes' ports may be kNone).
+[[nodiscard]] CheckResult check_weight_augmented(
+    const Tree& tree, int k, const std::vector<local::Output>& outputs,
+    const OrientationMap& orient);
+
+/// Proper 2-coloring with labels {W, B} on an induced path/cycle.
+[[nodiscard]] CheckResult check_two_coloring(const Tree& tree,
+                                             const std::vector<int>& outputs);
+
+/// Proper 3-coloring with labels {R, G, Y}.
+[[nodiscard]] CheckResult check_three_coloring(
+    const Tree& tree, const std::vector<int>& outputs);
+
+}  // namespace lcl::problems

@@ -1,0 +1,77 @@
+// Shared output-label encodings for every LCL family in the library.
+//
+// The engine's `Output` carries plain ints; these enums fix the meaning.
+// Checkers and solvers must agree on them, and checkers decode based on
+// the node's *input* label where a problem gives different roles different
+// alphabets (Definition 22).
+#pragma once
+
+#include <string>
+
+namespace lcl::problems {
+
+/// Output alphabet of k-hierarchical 2.5- and 3.5-coloring
+/// (Definitions 8 and 9). R/G/Y exist only in the 3.5 variant.
+enum class Color : int {
+  kW = 0,  ///< White (2-coloring color)
+  kB = 1,  ///< Black (2-coloring color)
+  kE = 2,  ///< Exempt
+  kD = 3,  ///< Decline
+  kR = 4,  ///< Red (3-coloring color, 3.5 only)
+  kG = 5,  ///< Green (3-coloring color, 3.5 only)
+  kY = 6,  ///< Yellow (3-coloring color, 3.5 only)
+};
+
+/// Primary outputs of weight nodes in Pi^Z_{Delta,d,k} (Definition 22) and
+/// of all nodes in the d-free weight problem (Section 7).
+enum class WeightOut : int {
+  kDecline = 0,
+  kConnect = 1,
+  kCopy = 2,
+};
+
+/// Which hierarchical coloring variant a problem instance uses.
+enum class Variant {
+  kTwoHalf,    ///< 2.5-coloring: level-k nodes 2-color with W/B
+  kThreeHalf,  ///< 3.5-coloring: level-k nodes 3-color with R/G/Y
+};
+
+/// Input labels of the d-free weight problem.
+enum class DFreeInput : int {
+  kA = 0,  ///< "adjacent" node (touches an active node)
+  kW = 1,  ///< plain weight node
+};
+
+[[nodiscard]] inline std::string to_string(Color c) {
+  switch (c) {
+    case Color::kW: return "W";
+    case Color::kB: return "B";
+    case Color::kE: return "E";
+    case Color::kD: return "D";
+    case Color::kR: return "R";
+    case Color::kG: return "G";
+    case Color::kY: return "Y";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::string to_string(WeightOut w) {
+  switch (w) {
+    case WeightOut::kDecline: return "Decline";
+    case WeightOut::kConnect: return "Connect";
+    case WeightOut::kCopy: return "Copy";
+  }
+  return "?";
+}
+
+/// True if `c` is one of the 2-coloring colors {W, B}.
+[[nodiscard]] constexpr bool is_two_color(Color c) {
+  return c == Color::kW || c == Color::kB;
+}
+
+/// True if `c` is one of the 3-coloring colors {R, G, Y}.
+[[nodiscard]] constexpr bool is_three_color(Color c) {
+  return c == Color::kR || c == Color::kG || c == Color::kY;
+}
+
+}  // namespace lcl::problems

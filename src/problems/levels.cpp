@@ -1,0 +1,77 @@
+#include "problems/levels.hpp"
+
+#include <deque>
+
+namespace lcl::problems {
+
+namespace {
+
+using graph::NodeId;
+using graph::Tree;
+
+std::vector<int> peel(const Tree& tree, int k,
+                      const std::vector<char>* mask) {
+  const NodeId n = tree.size();
+  std::vector<int> level(static_cast<std::size_t>(n), 0);
+  std::vector<int> remaining_degree(static_cast<std::size_t>(n), 0);
+  std::vector<char> removed(static_cast<std::size_t>(n), 0);
+
+  auto in_graph = [&](NodeId v) {
+    return mask == nullptr || (*mask)[static_cast<std::size_t>(v)] != 0;
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (!in_graph(v)) {
+      removed[static_cast<std::size_t>(v)] = 1;
+      continue;
+    }
+    int d = 0;
+    for (NodeId u : tree.neighbors(v)) {
+      if (in_graph(u)) ++d;
+    }
+    remaining_degree[static_cast<std::size_t>(v)] = d;
+  }
+
+  for (int round = 1; round <= k; ++round) {
+    // Collect this round's peel set first (simultaneous removal).
+    std::vector<NodeId> peeled;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!removed[static_cast<std::size_t>(v)] &&
+          remaining_degree[static_cast<std::size_t>(v)] <= 2) {
+        peeled.push_back(v);
+      }
+    }
+    for (NodeId v : peeled) {
+      level[static_cast<std::size_t>(v)] = round;
+      removed[static_cast<std::size_t>(v)] = 1;
+    }
+    for (NodeId v : peeled) {
+      for (NodeId u : tree.neighbors(v)) {
+        if (!removed[static_cast<std::size_t>(u)] && in_graph(u)) {
+          --remaining_degree[static_cast<std::size_t>(u)];
+        }
+      }
+    }
+    if (peeled.empty()) break;  // nothing more will ever peel
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (!removed[static_cast<std::size_t>(v)]) {
+      level[static_cast<std::size_t>(v)] = k + 1;
+    }
+  }
+  return level;
+}
+
+}  // namespace
+
+std::vector<int> compute_levels(const graph::Tree& tree, int k) {
+  return peel(tree, k, nullptr);
+}
+
+std::vector<int> compute_levels_masked(const graph::Tree& tree, int k,
+                                       const std::vector<char>& in_subgraph) {
+  return peel(tree, k, &in_subgraph);
+}
+
+}  // namespace lcl::problems

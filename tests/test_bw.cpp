@@ -1,0 +1,112 @@
+// Black-white/decidability machinery (Section 11): the path classifier
+// (Lemma 81), label-set classes (Definitions 73/74), the bounded testing
+// procedure, and the Theorem-7 constant-good dichotomy.
+#include <gtest/gtest.h>
+
+#include "bw/constant_good.hpp"
+#include "bw/label_sets.hpp"
+#include "bw/path_lcl.hpp"
+
+namespace lcl {
+namespace {
+
+using bw::PathComplexity;
+
+TEST(BW, ClassifierBuiltins) {
+  EXPECT_EQ(bw::classify(bw::make_two_coloring_lcl()),
+            PathComplexity::kLinear);
+  EXPECT_EQ(bw::classify(bw::make_three_coloring_lcl()),
+            PathComplexity::kLogStar);
+  EXPECT_EQ(bw::classify(bw::make_free_lcl(2)),
+            PathComplexity::kConstant);
+  EXPECT_EQ(bw::classify(bw::make_unsolvable_lcl()),
+            PathComplexity::kUnsolvable);
+}
+
+TEST(BW, BoundaryRestrictionsMatter) {
+  // 3-coloring with both boundaries pinned to {R} is still log* (the
+  // ends anchor, the middle needs symmetry breaking).
+  auto p = bw::with_boundaries(bw::make_three_coloring_lcl(), 0b001, 0b001);
+  EXPECT_EQ(bw::classify(p), PathComplexity::kLogStar);
+  // The free problem stays O(1) under any nonempty boundary.
+  auto f = bw::with_boundaries(bw::make_free_lcl(3), 0b010, 0b100);
+  EXPECT_EQ(bw::classify(f), PathComplexity::kConstant);
+  // Empty boundary kills it.
+  auto dead = bw::with_boundaries(bw::make_free_lcl(3), 0, 0b111);
+  EXPECT_EQ(bw::classify(dead), PathComplexity::kUnsolvable);
+}
+
+TEST(BW, MaximalClassPairs) {
+  const auto lcl = bw::make_two_coloring_lcl();
+  // Even-length path (2 nodes): ends must differ.
+  auto pairs2 = bw::maximal_class_pairs(lcl, 2);
+  EXPECT_EQ(pairs2.size(), 2u);  // (W,B), (B,W)
+  // Odd-length path (3 nodes): ends must match.
+  auto pairs3 = bw::maximal_class_pairs(lcl, 3);
+  EXPECT_EQ(pairs3.size(), 2u);  // (W,W), (B,B)
+  // 3-coloring on length 3: middle must avoid both ends: any (a,b) pair
+  // works (a free third color always exists): 9 pairs.
+  auto pairs3c = bw::maximal_class_pairs(bw::make_three_coloring_lcl(), 3);
+  EXPECT_EQ(pairs3c.size(), 9u);
+}
+
+TEST(BW, FlexiblePairsCaptureParity) {
+  // For 2-coloring, no pair is feasible at all large lengths (parity
+  // flips); for 3-coloring, all 9 pairs are.
+  EXPECT_TRUE(bw::flexible_class_pairs(bw::make_two_coloring_lcl(), 4)
+                  .empty());
+  EXPECT_EQ(
+      bw::flexible_class_pairs(bw::make_three_coloring_lcl(), 4).size(),
+      9u);
+}
+
+TEST(BW, IndependentRectangle) {
+  // Pairs = {(0,1),(1,0),(0,0)}: maximal rectangles are {0}x{0,1} or
+  // {0,1}x{0}; area 2.
+  std::vector<std::pair<int, int>> pairs = {{0, 1}, {1, 0}, {0, 0}};
+  const auto rect = bw::independent_rectangle(pairs, 2);
+  EXPECT_FALSE(rect.empty());
+  const int area = __builtin_popcount(rect.left) *
+                   __builtin_popcount(rect.right);
+  EXPECT_EQ(area, 2);
+}
+
+TEST(BW, RakeStep) {
+  const auto lcl = bw::make_two_coloring_lcl();
+  EXPECT_EQ(bw::rake_step(lcl, 0b01), 0b10u);  // next to W: must be B
+  EXPECT_EQ(bw::rake_step(lcl, 0b11), 0b11u);
+  EXPECT_EQ(bw::rake_step(lcl, 0), 0u);  // empty stays empty
+}
+
+TEST(BW, TestingProcedureGoodProblems) {
+  EXPECT_TRUE(bw::testing_procedure(bw::make_three_coloring_lcl()).good);
+  EXPECT_TRUE(bw::testing_procedure(bw::make_free_lcl(2)).good);
+  // 2-coloring: the compress step meets infeasible flexible classes
+  // (empty rectangles) — no good f_{Pi,infinity} without splitting by
+  // parity, which the relaxed procedure cannot do.
+  EXPECT_FALSE(bw::testing_procedure(bw::make_two_coloring_lcl()).good);
+}
+
+TEST(BW, Theorem7Dichotomy) {
+  // free LCL: constant-good => O(1) node-averaged.
+  const auto free_v = bw::decide_constant_good(bw::make_free_lcl(3));
+  EXPECT_TRUE(free_v.solvable);
+  EXPECT_TRUE(free_v.constant_good);
+  EXPECT_EQ(free_v.node_averaged_class, "O(1)");
+
+  // 3-coloring: solvable, NOT constant-good (compress problems are
+  // log*), hence by the Theorem-7 gap its node-averaged complexity is
+  // (log* n)^{Theta(1)} — matching Corollary 17.
+  const auto c3 = bw::decide_constant_good(bw::make_three_coloring_lcl());
+  EXPECT_TRUE(c3.solvable);
+  EXPECT_FALSE(c3.constant_good);
+  EXPECT_EQ(c3.worst_compress, PathComplexity::kLogStar);
+
+  // 2-coloring: not even solvable through the relaxed procedure
+  // (Theta(n) problems are outside the log*-regime machinery).
+  const auto c2 = bw::decide_constant_good(bw::make_two_coloring_lcl());
+  EXPECT_FALSE(c2.constant_good);
+}
+
+}  // namespace
+}  // namespace lcl

@@ -1,0 +1,95 @@
+// Cole-Vishkin / Linial machinery: primes, schedules (log* growth), and
+// the one-round reduction property over all small palettes.
+#include <gtest/gtest.h>
+
+#include "algo/cole_vishkin.hpp"
+#include "local/logstar.hpp"
+
+namespace lcl {
+namespace {
+
+TEST(CV, NextPrime) {
+  EXPECT_EQ(algo::next_prime(2), 2);
+  EXPECT_EQ(algo::next_prime(4), 5);
+  EXPECT_EQ(algo::next_prime(14), 17);
+  EXPECT_EQ(algo::next_prime(97), 97);
+}
+
+TEST(CV, PrimeForPalette) {
+  // q >= 5 and q^3 >= K.
+  for (std::int64_t k : {2, 10, 100, 1000, 100000, 1000000}) {
+    const std::int64_t q = algo::cv_prime_for(k);
+    EXPECT_GE(q, 5);
+    EXPECT_GE(q * q * q, k);
+  }
+}
+
+TEST(CV, ScheduleShrinksToFixedPoint) {
+  for (std::int64_t k : {30LL, 1000LL, 1LL << 20, 1LL << 40, 1LL << 62}) {
+    const auto sched = algo::cv_schedule(k);
+    std::int64_t palette = k;
+    for (std::int64_t q : sched) {
+      EXPECT_GE(q * q * q, palette) << "palette " << palette;
+      palette = q * q;
+    }
+    EXPECT_LE(palette, 25);
+  }
+}
+
+TEST(CV, ScheduleLengthIsLogStarLike) {
+  // The schedule length grows extremely slowly (log*), staying tiny even
+  // for astronomically large palettes.
+  EXPECT_LE(algo::cv_schedule(1LL << 62).size(), 8u);
+  EXPECT_GE(algo::cv_schedule(1LL << 62).size(),
+            algo::cv_schedule(100).size());
+}
+
+TEST(CV, ReduceKeepsProperness) {
+  // Exhaustive small-palette check: for all proper (own, n1, n2) with q=5,
+  // the new colors of adjacent nodes differ.
+  const std::int64_t q = 5;
+  const std::int64_t kMax = 60;  // < q^3 = 125
+  for (std::int64_t a = 0; a < kMax; ++a) {
+    for (std::int64_t b = 0; b < kMax; ++b) {
+      if (b == a) continue;
+      // Chain a - b: a's new color (nbr b) vs b's new color (nbr a).
+      const std::int64_t na = algo::cv_reduce(q, a, b, -1);
+      const std::int64_t nb = algo::cv_reduce(q, b, a, -1);
+      EXPECT_NE(na, nb) << a << " " << b;
+      EXPECT_LT(na, q * q);
+    }
+  }
+}
+
+TEST(CV, ReduceWithTwoNeighbors) {
+  const std::int64_t q = 5;
+  for (std::int64_t a = 0; a < 40; ++a) {
+    for (std::int64_t b = 0; b < 40; ++b) {
+      for (std::int64_t c = 0; c < 40; ++c) {
+        if (a == b || b == c) continue;
+        // Path a - b - c: middle node vs both ends.
+        const std::int64_t nb = algo::cv_reduce(q, b, a, c);
+        const std::int64_t na = algo::cv_reduce(q, a, b, -1);
+        const std::int64_t nc = algo::cv_reduce(q, c, b, -1);
+        EXPECT_NE(nb, na);
+        EXPECT_NE(nb, nc);
+      }
+    }
+  }
+}
+
+TEST(LogStar, Values) {
+  using local::log_star;
+  EXPECT_EQ(log_star(1), 0);
+  EXPECT_EQ(log_star(2), 1);
+  EXPECT_EQ(log_star(4), 2);
+  EXPECT_EQ(log_star(16), 3);
+  EXPECT_EQ(log_star(65536), 4);
+  // With floor-log semantics log* stays 4 until the next tower level.
+  EXPECT_EQ(log_star(65537), 4);
+  EXPECT_EQ(log_star(~std::uint64_t{0}), 4);  // floor-log: 2^64-1 -> 63 -> 5 -> 2 -> 1
+  EXPECT_EQ(local::tower(4), 65536u);
+}
+
+}  // namespace
+}  // namespace lcl

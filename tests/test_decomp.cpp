@@ -1,0 +1,122 @@
+// Rake-and-compress decompositions (Definitions 71/43, Lemma 72):
+// validity of both variants and the layer-count bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "decomp/rake_compress.hpp"
+#include "graph/builders.hpp"
+#include "test_util.hpp"
+
+namespace lcl {
+namespace {
+
+using decomp::LayerKind;
+using graph::NodeId;
+using graph::Tree;
+
+TEST(Decomp, PathProperDecomposition) {
+  const Tree t = graph::make_path(1000);
+  const auto d = decomp::rake_compress(t, 1, 4, /*split_paths=*/true);
+  EXPECT_EQ(decomp::validate_decomposition(t, d), "");
+  // A bare path compresses almost entirely in layer 1.
+  std::int64_t compress1 = 0;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    const auto& a = d.assignment[static_cast<std::size_t>(v)];
+    if (a.kind == LayerKind::kCompress && a.layer == 1) ++compress1;
+  }
+  EXPECT_GT(compress1, 780);
+}
+
+TEST(Decomp, RelaxedKeepsWholeChains) {
+  const Tree t = graph::make_path(100);
+  const auto d = decomp::rake_compress(t, 1, 4, /*split_paths=*/false);
+  EXPECT_EQ(decomp::validate_decomposition(t, d), "");
+  // One chain of ~98 compress nodes in layer 1 (relaxed: no [ell, 2ell]
+  // upper bound).
+  std::int64_t compress1 = 0;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    const auto& a = d.assignment[static_cast<std::size_t>(v)];
+    if (a.kind == LayerKind::kCompress) ++compress1;
+  }
+  EXPECT_GT(compress1, 90);
+}
+
+TEST(Decomp, GammaOneGivesLogLayers) {
+  // Lemma 72: gamma = 1 => O(log n) layers.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Tree t = graph::make_random_tree(20000, 4, seed);
+    const auto d = decomp::rake_compress(t, 1, 4, true);
+    EXPECT_EQ(decomp::validate_decomposition(t, d), "");
+    EXPECT_LE(d.num_layers,
+              4 * static_cast<int>(std::log2(t.size())) + 8);
+  }
+}
+
+TEST(Decomp, GammaRootKGivesKLayers) {
+  // Lemma 72: gamma ~ n^{1/k} (ell/2)^{1-1/k} => at most k rake layers.
+  const Tree t = graph::make_random_tree(10000, 4, 3);
+  for (int k : {2, 3}) {
+    const int gamma = static_cast<int>(
+        std::ceil(std::pow(static_cast<double>(t.size()),
+                           1.0 / static_cast<double>(k)) *
+                  std::pow(2.0, 1.0 - 1.0 / k)));
+    const auto d = decomp::rake_compress(t, gamma, 4, true);
+    EXPECT_EQ(decomp::validate_decomposition(t, d), "");
+    EXPECT_LE(d.num_layers, k) << "k=" << k << " gamma=" << gamma;
+  }
+}
+
+TEST(Decomp, BalancedTreeRakesInOneLayer) {
+  // Balanced weight trees never compress: depth log(w) < gamma.
+  const Tree t = graph::make_balanced_weight_tree(5000, 5);
+  const auto d = decomp::rake_compress(t, 100, 4, true);
+  EXPECT_EQ(decomp::validate_decomposition(t, d), "");
+  EXPECT_EQ(d.num_layers, 1);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_EQ(d.assignment[static_cast<std::size_t>(v)].kind,
+              LayerKind::kRake);
+  }
+}
+
+TEST(Decomp, CaterpillarMixesRakeAndCompress) {
+  const Tree t = graph::make_caterpillar(300, 1);
+  const auto d = decomp::rake_compress(t, 1, 4, true);
+  EXPECT_EQ(decomp::validate_decomposition(t, d), "");
+  bool has_rake = false, has_compress = false;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (d.assignment[static_cast<std::size_t>(v)].kind == LayerKind::kRake) {
+      has_rake = true;
+    } else {
+      has_compress = true;
+    }
+  }
+  EXPECT_TRUE(has_rake);
+  EXPECT_TRUE(has_compress);
+}
+
+TEST(Decomp, AssignStepsAreMonotoneInLayers) {
+  const Tree t = graph::make_random_tree(2000, 5, 9);
+  const auto d = decomp::rake_compress(t, 2, 4, true);
+  EXPECT_EQ(decomp::validate_decomposition(t, d), "");
+  for (NodeId v = 0; v < t.size(); ++v) {
+    for (NodeId u : t.neighbors(v)) {
+      const auto kv = decomp::layer_order_key(
+          d.assignment[static_cast<std::size_t>(v)]);
+      const auto ku = decomp::layer_order_key(
+          d.assignment[static_cast<std::size_t>(u)]);
+      if (kv < ku) {
+        EXPECT_LE(d.assign_step[static_cast<std::size_t>(v)],
+                  d.assign_step[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+}
+
+TEST(Decomp, RejectsCycle) {
+  const Tree t = graph::make_cycle(50);
+  EXPECT_THROW(decomp::rake_compress(t, 1, 100, true), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lcl

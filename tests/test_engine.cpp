@@ -1,0 +1,156 @@
+// Engine semantics: synchronous register visibility, termination rounds,
+// node-averaged accounting, and the one-round delay of termination
+// visibility (the property every wave protocol relies on).
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "local/engine.hpp"
+#include "test_util.hpp"
+
+namespace lcl {
+namespace {
+
+using graph::NodeId;
+using graph::Tree;
+using local::Engine;
+using local::NodeCtx;
+using local::Program;
+using local::Register;
+using local::RunStats;
+
+/// Everyone terminates in on_init: T_v == 0 for all.
+class InstantProgram final : public Program {
+ public:
+  void on_init(NodeCtx& ctx) override { ctx.terminate(7); }
+  void on_round(NodeCtx& ctx) override { FAIL() << ctx.node(); }
+};
+
+TEST(Engine, InstantTermination) {
+  Tree t = graph::make_path(10);
+  Engine engine(t);
+  InstantProgram p;
+  const RunStats stats = engine.run(p);
+  EXPECT_EQ(stats.worst_case, 0);
+  EXPECT_DOUBLE_EQ(stats.node_averaged, 0.0);
+  for (const auto& o : stats.output) EXPECT_EQ(o.primary, 7);
+}
+
+/// Node v terminates at round v+1: checks exact T_v accounting.
+class StaggerProgram final : public Program {
+ public:
+  void on_init(NodeCtx&) override {}
+  void on_round(NodeCtx& ctx) override {
+    if (ctx.round() == ctx.node() + 1) ctx.terminate(0);
+  }
+};
+
+TEST(Engine, TerminationRoundsAndAverage) {
+  Tree t = graph::make_path(4);
+  Engine engine(t);
+  StaggerProgram p;
+  const RunStats stats = engine.run(p);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(stats.termination_round[static_cast<std::size_t>(v)], v + 1);
+  }
+  EXPECT_EQ(stats.worst_case, 4);
+  EXPECT_DOUBLE_EQ(stats.node_averaged, (1 + 2 + 3 + 4) / 4.0);
+}
+
+/// A wave: node 0 publishes at round 1; node i can only see it at round
+/// i+1 if each node forwards one hop per round. Verifies registers are
+/// double-buffered (no same-round information leaks).
+class ForwardProgram final : public Program {
+ public:
+  void on_init(NodeCtx&) override {}
+  void on_round(NodeCtx& ctx) override {
+    if (ctx.node() == 0) {
+      ctx.publish({1});
+      ctx.terminate(0);
+      return;
+    }
+    const Register& left = ctx.peek(0);  // port 0 = smaller neighbor
+    if (!left.empty() && left[0] == 1) {
+      ctx.publish({1});
+      ctx.terminate(static_cast<int>(ctx.round()));
+    }
+  }
+};
+
+TEST(Engine, OneHopPerRound) {
+  Tree t = graph::make_path(6);
+  Engine engine(t);
+  ForwardProgram p;
+  const RunStats stats = engine.run(p);
+  for (NodeId v = 1; v < 6; ++v) {
+    // Node v learns the token exactly at round v+1.
+    EXPECT_EQ(stats.termination_round[static_cast<std::size_t>(v)], v + 1)
+        << "node " << v;
+  }
+}
+
+/// Termination visibility is delayed by one round.
+class VisibilityProgram final : public Program {
+ public:
+  explicit VisibilityProgram(std::vector<std::int64_t>& seen)
+      : seen_(seen) {}
+  void on_init(NodeCtx&) override {}
+  void on_round(NodeCtx& ctx) override {
+    if (ctx.node() == 0) {
+      ctx.terminate(42);
+      return;
+    }
+    if (ctx.node() == 1 && ctx.neighbor_terminated(0)) {
+      seen_.push_back(ctx.round());
+      EXPECT_EQ(ctx.neighbor_output(0).primary, 42);
+      ctx.terminate(1);
+    }
+  }
+
+ private:
+  std::vector<std::int64_t>& seen_;
+};
+
+TEST(Engine, TerminationVisibleNextRound) {
+  Tree t = graph::make_path(2);
+  Engine engine(t);
+  std::vector<std::int64_t> seen;
+  VisibilityProgram p(seen);
+  const RunStats stats = engine.run(p);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 2);  // terminated at round 1, visible at round 2
+  EXPECT_EQ(stats.termination_round[1], 2);
+}
+
+/// The engine throws when a program stalls.
+class StallProgram final : public Program {
+ public:
+  void on_init(NodeCtx&) override {}
+  void on_round(NodeCtx&) override {}
+};
+
+TEST(Engine, RoundLimit) {
+  Tree t = graph::make_path(3);
+  Engine engine(t);
+  StallProgram p;
+  EXPECT_THROW(engine.run(p, 100), std::runtime_error);
+}
+
+/// Double termination is a programming error.
+class DoubleTerminate final : public Program {
+ public:
+  void on_init(NodeCtx& ctx) override {
+    ctx.terminate(0);
+    ctx.terminate(1);
+  }
+  void on_round(NodeCtx&) override {}
+};
+
+TEST(Engine, DoubleTerminationThrows) {
+  Tree t = graph::make_path(1);
+  Engine engine(t);
+  DoubleTerminate p;
+  EXPECT_THROW(engine.run(p), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lcl

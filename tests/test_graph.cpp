@@ -1,0 +1,163 @@
+// Graph substrate: builders produce the structures the paper's
+// constructions require, and the by-construction levels of the
+// lower-bound graphs match the Definition-8 peeling.
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "graph/tree.hpp"
+#include "problems/levels.hpp"
+#include "test_util.hpp"
+
+namespace lcl {
+namespace {
+
+using graph::NodeId;
+using graph::Tree;
+
+TEST(Graph, PathBasics) {
+  const Tree t = graph::make_path(5);
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.edge_count(), 4);
+  EXPECT_TRUE(t.is_tree());
+  EXPECT_EQ(t.degree(0), 1);
+  EXPECT_EQ(t.degree(2), 2);
+  EXPECT_EQ(t.max_degree(), 2);
+}
+
+TEST(Graph, StarAndCaterpillar) {
+  const Tree s = graph::make_star(6);
+  EXPECT_EQ(s.size(), 7);
+  EXPECT_EQ(s.degree(0), 6);
+  EXPECT_TRUE(s.is_tree());
+
+  const Tree c = graph::make_caterpillar(10, 3);
+  EXPECT_EQ(c.size(), 10 + 30);
+  EXPECT_TRUE(c.is_tree());
+}
+
+TEST(Graph, BalancedWeightTreeShape) {
+  const int delta = 5;  // fanout 4
+  const Tree t = graph::make_balanced_weight_tree(100, delta);
+  EXPECT_EQ(t.size(), 100);
+  EXPECT_TRUE(t.is_tree());
+  EXPECT_LE(t.max_degree(), delta);
+  // Root has fanout delta-1.
+  EXPECT_EQ(t.degree(0), delta - 1);
+}
+
+TEST(Graph, BfsDistancesAndBall) {
+  const Tree t = graph::make_path(7);
+  const auto dist = graph::bfs_distances(t, 3);
+  EXPECT_EQ(dist[0], 3);
+  EXPECT_EQ(dist[6], 3);
+  EXPECT_EQ(dist[3], 0);
+  const auto b = graph::ball(t, 3, 2);
+  EXPECT_EQ(b.size(), 5u);
+}
+
+TEST(Graph, RandomTreeRespectsDegree) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Tree t = graph::make_random_tree(500, 4, seed);
+    EXPECT_EQ(t.size(), 500);
+    EXPECT_TRUE(t.is_tree());
+    EXPECT_LE(t.max_degree(), 4);
+  }
+}
+
+TEST(Graph, IdSchemes) {
+  Tree t = graph::make_path(100);
+  graph::assign_ids(t, graph::IdScheme::kShuffled, 42);
+  t.validate_ids();
+  graph::assign_ids(t, graph::IdScheme::kBlockOffset, 1000);
+  EXPECT_EQ(t.local_id(0), 1000);
+  EXPECT_EQ(t.local_id(99), 1099);
+  t.validate_ids();
+}
+
+TEST(Graph, ForestDetection) {
+  Tree t(4);
+  t.add_edge(0, 1);
+  t.add_edge(1, 2);
+  t.add_edge(2, 0);  // triangle
+  t.finalize(0);
+  EXPECT_FALSE(t.is_forest());
+}
+
+// --- Definition 18: the hierarchical lower-bound graph (Figure 3) ----
+
+TEST(Graph, HierarchicalLowerBoundLevelsMatchPeeling) {
+  // k = 2: level-1 paths of length 5 hanging off a level-2 path of 8.
+  // The two level-2 endpoints carry one extra level-1 path each (the
+  // Figure-3 boundary fix), so there are 8 + 2 attached paths.
+  const auto inst = graph::make_hierarchical_lower_bound({5, 8});
+  EXPECT_TRUE(inst.tree.is_tree());
+  EXPECT_EQ(inst.tree.size(), 8 + (8 + 2) * 5);
+  const auto levels = problems::compute_levels(inst.tree, 2);
+  for (NodeId v = 0; v < inst.tree.size(); ++v) {
+    EXPECT_EQ(levels[static_cast<std::size_t>(v)],
+              inst.intended_level[static_cast<std::size_t>(v)])
+        << "node " << v;
+  }
+}
+
+TEST(Graph, HierarchicalLowerBoundK3) {
+  const auto inst = graph::make_hierarchical_lower_bound({3, 4, 5});
+  EXPECT_TRUE(inst.tree.is_tree());
+  // Level 3: 5 nodes; level 2: (5+2) paths of 4 = 28 nodes; level 1:
+  // each level-2 path contributes 2*2 + 2*1 = 6 attached paths of 3.
+  EXPECT_EQ(inst.tree.size(), 5 + 28 + 7 * 6 * 3);
+  const auto levels = problems::compute_levels(inst.tree, 3);
+  for (NodeId v = 0; v < inst.tree.size(); ++v) {
+    EXPECT_EQ(levels[static_cast<std::size_t>(v)],
+              inst.intended_level[static_cast<std::size_t>(v)]);
+  }
+}
+
+// --- Definition 25: the weighted construction (Figure 4) -------------
+
+TEST(Graph, WeightedConstructionShape) {
+  const auto inst = graph::make_weighted_construction({6, 10}, 6);
+  EXPECT_TRUE(inst.tree.is_tree());
+  EXPECT_LE(inst.tree.max_degree(), 6);
+  EXPECT_GT(inst.weight_count, 0);
+  // Active nodes form the skeleton; weight trees hang off levels >= 2.
+  NodeId active = 0, weight = 0;
+  for (NodeId v = 0; v < inst.tree.size(); ++v) {
+    if (inst.tree.input(v) ==
+        static_cast<int>(graph::WeightInput::kActive)) {
+      ++active;
+    } else {
+      ++weight;
+    }
+  }
+  EXPECT_EQ(active, inst.active_count);
+  EXPECT_EQ(weight, inst.weight_count);
+  // Every weight node's component touches exactly one active node family:
+  // each level->=2 skeleton node has exactly one attached weight tree, so
+  // every weight tree root has exactly one active neighbor.
+  for (NodeId v = 0; v < inst.tree.size(); ++v) {
+    if (inst.tree.input(v) !=
+        static_cast<int>(graph::WeightInput::kWeight)) {
+      continue;
+    }
+    int active_neighbors = 0;
+    for (NodeId u : inst.tree.neighbors(v)) {
+      if (inst.tree.input(u) ==
+          static_cast<int>(graph::WeightInput::kActive)) {
+        ++active_neighbors;
+      }
+    }
+    EXPECT_LE(active_neighbors, 1);
+  }
+}
+
+TEST(Graph, WeightedConstructionBalancedWeight) {
+  const auto inst = graph::make_weighted_construction({4, 6, 8}, 7);
+  // Weight per level ~ n' for levels 2..k: total weight ~ (k-1) * n'.
+  const double ratio = static_cast<double>(inst.weight_count) /
+                       static_cast<double>(inst.active_count);
+  EXPECT_GT(ratio, 0.8);  // roughly k-1 = 2 with rounding slack
+}
+
+}  // namespace
+}  // namespace lcl

@@ -1,0 +1,157 @@
+// The standalone Definition-63 solver (Lemma 65): validity against the
+// independent checker, the O(k n^{1/k}) assignment-round bound, and the
+// Lemma-26 dichotomy witnessed on Pi^{3.5} runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/hier_labeling.hpp"
+#include "algo/pi35.hpp"
+#include "core/exponents.hpp"
+#include "core/experiment.hpp"
+#include "graph/builders.hpp"
+#include "problems/checkers.hpp"
+#include "problems/levels.hpp"
+#include "test_util.hpp"
+
+namespace lcl {
+namespace {
+
+using graph::NodeId;
+using graph::Tree;
+
+class HierLabelingSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(HierLabelingSweep, ValidOnRandomTrees) {
+  const auto [k, seed] = GetParam();
+  Tree t = graph::make_random_tree(1500, 5, seed);
+  graph::assign_ids(t, graph::IdScheme::kShuffled, seed);
+  const auto sol = algo::solve_hierarchical_labeling(t, k);
+  test::assert_valid(problems::check_hierarchical_labeling(
+      t, k + 1, sol.labels, sol.orientation));
+  EXPECT_LE(sol.layers_used, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HierLabelingSweep,
+    ::testing::Combine(::testing::Values(2, 3),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(HierLabeling, PathAndCaterpillar) {
+  for (Tree t : {graph::make_path(500), graph::make_caterpillar(150, 2)}) {
+    graph::assign_ids(t, graph::IdScheme::kShuffled, 4);
+    const auto sol = algo::solve_hierarchical_labeling(t, 2);
+    test::assert_valid(problems::check_hierarchical_labeling(
+        t, 3, sol.labels, sol.orientation));
+  }
+}
+
+TEST(HierLabeling, AssignmentRoundsAreRootK) {
+  // Lemma 65: worst-case O(n^{1/k}) — the peel step count is bounded by
+  // k * (gamma + 1) with gamma ~ n^{1/k}.
+  for (int k : {2, 3}) {
+    Tree t = graph::make_random_tree(20000, 4, 9);
+    const auto sol = algo::solve_hierarchical_labeling(t, k);
+    int max_round = 0;
+    for (int r : sol.assign_round) max_round = std::max(max_round, r);
+    EXPECT_LE(max_round,
+              static_cast<int>(k * (sol.gamma + 2)))
+        << "k " << k;
+  }
+}
+
+TEST(HierLabeling, CheckerRejectsCorruptedOrientation) {
+  Tree t = graph::make_random_tree(300, 4, 5);
+  auto sol = algo::solve_hierarchical_labeling(t, 2);
+  // Drop one rake node's outgoing orientation.
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (!problems::is_rake_label(sol.labels[static_cast<std::size_t>(v)])) {
+      continue;
+    }
+    auto& ports = sol.orientation[static_cast<std::size_t>(v)];
+    for (std::size_t p = 0; p < ports.size(); ++p) {
+      if (ports[p] == problems::EdgeDir::kOutgoing) {
+        ports[p] = problems::EdgeDir::kNone;
+        const NodeId u = t.neighbors(v)[p];
+        for (std::size_t q = 0;
+             q < sol.orientation[static_cast<std::size_t>(u)].size(); ++q) {
+          if (t.neighbors(u)[q] == v) {
+            sol.orientation[static_cast<std::size_t>(u)][q] =
+                problems::EdgeDir::kNone;
+          }
+        }
+        EXPECT_FALSE(problems::check_hierarchical_labeling(
+                         t, 3, sol.labels, sol.orientation)
+                         .ok);
+        return;
+      }
+    }
+  }
+  FAIL() << "no oriented rake node found";
+}
+
+TEST(HierLabeling, Lemma26DichotomyWitness) {
+  // Lemma 26: on the weighted construction, for every level i < k,
+  // either all level-i active nodes output D, or a constant fraction of
+  // them runs for Omega(ell'_i) rounds. Assert the disjunction on a real
+  // Pi^{3.5} run.
+  const int delta = 6, d = 3, k = 2;
+  const std::int64_t lambda = 256;
+  const double xp = core::efficiency_x_prime(delta, d);
+  const auto alphas = core::alpha_profile_logstar(xp, k);
+  const auto ell = core::lower_bound_lengths(
+      alphas, static_cast<double>(lambda), 20000);
+  auto inst = graph::make_weighted_construction(ell, delta);
+  graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, 21);
+
+  algo::Pi35Options o;
+  o.k = k;
+  o.d = d;
+  o.gammas.assign(1, std::max<std::int64_t>(2, inst.skeleton_lengths[0]));
+  o.symmetry_pad = lambda;
+  algo::Pi35Program program(inst.tree, o);
+  local::Engine engine(inst.tree);
+  const auto stats = engine.run(program);
+
+  // Levels of the active subgraph.
+  std::vector<char> mask(static_cast<std::size_t>(inst.tree.size()), 0);
+  for (NodeId v = 0; v < inst.tree.size(); ++v) {
+    mask[static_cast<std::size_t>(v)] =
+        inst.tree.input(v) ==
+                static_cast<int>(graph::WeightInput::kActive)
+            ? 1
+            : 0;
+  }
+  const auto levels =
+      problems::compute_levels_masked(inst.tree, k, mask);
+
+  for (int level = 1; level < k; ++level) {
+    std::int64_t count = 0, declined = 0, slow = 0;
+    const std::int64_t threshold =
+        std::max<std::int64_t>(1, inst.skeleton_lengths[
+                                      static_cast<std::size_t>(level - 1)] /
+                                      10);
+    for (NodeId v = 0; v < inst.tree.size(); ++v) {
+      if (levels[static_cast<std::size_t>(v)] != level) continue;
+      ++count;
+      if (stats.output[static_cast<std::size_t>(v)].primary ==
+          static_cast<int>(problems::Color::kD)) {
+        ++declined;
+      }
+      if (stats.termination_round[static_cast<std::size_t>(v)] >=
+          threshold) {
+        ++slow;
+      }
+    }
+    ASSERT_GT(count, 0);
+    const bool all_declined = (declined == count);
+    const bool third_slow = (3 * slow >= count);
+    EXPECT_TRUE(all_declined || third_slow)
+        << "level " << level << ": " << declined << "/" << count
+        << " declined, " << slow << " slow";
+  }
+}
+
+}  // namespace
+}  // namespace lcl

@@ -1,0 +1,93 @@
+// Definition-8 levels: centralized peeling vs. the distributed
+// LevelProgram, masked levels, and structural properties.
+#include <gtest/gtest.h>
+
+#include "algo/level_program.hpp"
+#include "graph/builders.hpp"
+#include "local/engine.hpp"
+#include "problems/levels.hpp"
+#include "test_util.hpp"
+
+namespace lcl {
+namespace {
+
+using graph::NodeId;
+using graph::Tree;
+
+TEST(Levels, PathIsAllLevelOne) {
+  const Tree t = graph::make_path(20);
+  const auto levels = problems::compute_levels(t, 3);
+  for (int lv : levels) EXPECT_EQ(lv, 1);
+}
+
+TEST(Levels, StarCenterPeelsSecond) {
+  const Tree t = graph::make_star(5);
+  const auto levels = problems::compute_levels(t, 2);
+  EXPECT_EQ(levels[0], 2);  // center has degree 5, peels once leaves gone
+  for (NodeId v = 1; v <= 5; ++v) {
+    EXPECT_EQ(levels[static_cast<std::size_t>(v)], 1);
+  }
+}
+
+TEST(Levels, SurvivorsGetLevelKPlusOne) {
+  // A complete binary-ish tree deep enough that k=1 leaves survivors.
+  const Tree t = graph::make_balanced_weight_tree(200, 4);
+  const auto levels = problems::compute_levels(t, 1);
+  bool has_survivor = false;
+  for (int lv : levels) {
+    if (lv == 2) has_survivor = true;
+  }
+  EXPECT_TRUE(has_survivor);
+}
+
+TEST(Levels, MaskedLevelsIgnoreExcluded) {
+  // A path where the middle node is excluded: both halves become
+  // separate paths, still level 1 everywhere included.
+  const Tree t = graph::make_path(9);
+  std::vector<char> mask(9, 1);
+  mask[4] = 0;
+  const auto levels = problems::compute_levels_masked(t, 2, mask);
+  EXPECT_EQ(levels[4], 0);
+  for (NodeId v = 0; v < 9; ++v) {
+    if (v == 4) continue;
+    EXPECT_EQ(levels[static_cast<std::size_t>(v)], 1);
+  }
+}
+
+class DistributedLevels : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedLevels, MatchesCentralized) {
+  const int k = GetParam();
+  const Tree t = graph::make_random_tree(400, 5, 77 + k);
+  const auto central = problems::compute_levels(t, k);
+  algo::LevelProgram program(t, k);
+  local::Engine engine(t);
+  const auto stats = engine.run(program);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_EQ(stats.output[static_cast<std::size_t>(v)].primary,
+              central[static_cast<std::size_t>(v)])
+        << "node " << v << " k " << k;
+  }
+  // Level computation is a (k+1)-round procedure.
+  EXPECT_LE(stats.worst_case, k + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, DistributedLevels, ::testing::Values(1, 2, 3, 4));
+
+TEST(Levels, HierarchicalInstanceAllLevelsPresent) {
+  const auto inst = graph::make_hierarchical_lower_bound({4, 4, 6});
+  const auto levels = problems::compute_levels(inst.tree, 3);
+  std::vector<int> count(5, 0);
+  for (int lv : levels) count[static_cast<std::size_t>(lv)]++;
+  EXPECT_GT(count[1], 0);
+  EXPECT_GT(count[2], 0);
+  EXPECT_GT(count[3], 0);
+  EXPECT_EQ(count[4], 0);  // no level k+1 in the construction
+  // Corollary 19: |L_i| = Omega(prod_{i<=j<=k} ell_j).
+  EXPECT_GE(count[1], 4 * 4 * 6);
+  EXPECT_GE(count[2], 4 * 6);
+  EXPECT_GE(count[3], 6);
+}
+
+}  // namespace
+}  // namespace lcl

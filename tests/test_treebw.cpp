@@ -1,0 +1,98 @@
+// The black-white tree solver (Definition 70, Sections 11.3-11.5):
+// label-set sweeps over a rake-and-compress decomposition solve edge
+// LCLs on trees; the independent checker certifies every solution, and
+// unsolvable problems are detected via empty classes.
+#include <gtest/gtest.h>
+
+#include "bw/tree_problem.hpp"
+#include "graph/builders.hpp"
+
+namespace lcl {
+namespace {
+
+using graph::NodeId;
+using graph::Tree;
+
+void solve_and_check(const Tree& t, const bw::TreeBwProblem& p,
+                     bool expect_solved = true) {
+  const auto res = bw::solve_tree_bw(t, p);
+  if (!expect_solved) {
+    EXPECT_FALSE(res.solved) << p.name;
+    return;
+  }
+  ASSERT_TRUE(res.solved) << p.name << ": " << res.failure;
+  const std::string err = bw::check_tree_bw(t, p, res.edge_label);
+  EXPECT_EQ(err, "") << p.name;
+}
+
+TEST(TreeBw, FreeProblemOnEverything) {
+  solve_and_check(graph::make_path(50), bw::make_bw_free(2));
+  solve_and_check(graph::make_star(7), bw::make_bw_free(3));
+  solve_and_check(graph::make_random_tree(500, 5, 1), bw::make_bw_free(2));
+}
+
+TEST(TreeBw, EdgeColoringMirrorsTheRigidityClassification) {
+  // Edge-2-coloring of a path is a Theta(n)-rigid problem (its node
+  // analog classifies kLinear): the generic label-set machinery MUST
+  // fail on it — compress chains force parity-coupled classes whose
+  // independent restrictions cannot be combined globally. This is the
+  // same refusal the testing procedure reports for 2-coloring.
+  solve_and_check(graph::make_path(200), bw::make_bw_edge_coloring(2),
+                  /*expect_solved=*/false);
+  // Three colors make the problem flexible (Theta(log* n) analog): the
+  // generic solver succeeds.
+  solve_and_check(graph::make_path(201), bw::make_bw_edge_coloring(3));
+  // A star with 5 leaves needs 5 colors; 4 must fail.
+  solve_and_check(graph::make_star(5), bw::make_bw_edge_coloring(5));
+  solve_and_check(graph::make_star(5), bw::make_bw_edge_coloring(4),
+                  /*expect_solved=*/false);
+}
+
+class TreeBwRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeBwRandom, EdgeColoringOnRandomTrees) {
+  const std::uint64_t seed = GetParam();
+  const Tree t = graph::make_random_tree(400, 4, seed);
+  solve_and_check(t, bw::make_bw_edge_coloring(4));
+}
+
+TEST_P(TreeBwRandom, SinklessOrientationOnRandomTrees) {
+  const std::uint64_t seed = GetParam();
+  const Tree t = graph::make_random_tree(400, 4, seed + 50);
+  solve_and_check(t, bw::make_bw_sinkless());
+}
+
+TEST_P(TreeBwRandom, WeakMatchingOnRandomTrees) {
+  const std::uint64_t seed = GetParam();
+  const Tree t = graph::make_random_tree(400, 5, seed + 99);
+  solve_and_check(t, bw::make_bw_weak_matching());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeBwRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(TreeBw, CaterpillarMixesChainsAndRakes) {
+  const Tree t = graph::make_caterpillar(120, 1);
+  solve_and_check(t, bw::make_bw_edge_coloring(4));
+  solve_and_check(t, bw::make_bw_sinkless());
+  solve_and_check(t, bw::make_bw_weak_matching());
+}
+
+TEST(TreeBw, CheckerRejectsCorruption) {
+  const Tree t = graph::make_path(30);
+  const auto p = bw::make_bw_edge_coloring(3);
+  auto res = bw::solve_tree_bw(t, p);
+  ASSERT_TRUE(res.solved);
+  res.edge_label[5] = res.edge_label[4];  // adjacent edges same color
+  EXPECT_NE(bw::check_tree_bw(t, p, res.edge_label), "");
+}
+
+TEST(TreeBw, HierarchicalInstances) {
+  // The Figure-3 lower-bound tree as a black-white substrate.
+  const auto inst = graph::make_hierarchical_lower_bound({5, 8});
+  solve_and_check(inst.tree, bw::make_bw_edge_coloring(4));
+  solve_and_check(inst.tree, bw::make_bw_sinkless());
+}
+
+}  // namespace
+}  // namespace lcl

@@ -1,0 +1,29 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/builders.hpp"
+#include "graph/tree.hpp"
+#include "local/engine.hpp"
+#include "problems/checkers.hpp"
+
+namespace lcl::test {
+
+/// Asserts a CheckResult passed, printing the checker's reason otherwise.
+inline void expect_valid(const problems::CheckResult& r) {
+  EXPECT_TRUE(r.ok) << r.reason;
+}
+
+inline void assert_valid(const problems::CheckResult& r) {
+  ASSERT_TRUE(r.ok) << r.reason;
+}
+
+/// All primary outputs of a run.
+inline std::vector<int> primaries(const local::RunStats& stats) {
+  return stats.primaries();
+}
+
+}  // namespace lcl::test

@@ -1,0 +1,91 @@
+// Weight-augmented 2.5-coloring (Section 10 / Lemma 69): composite
+// validity (Definition 67 checker) and the Theta(n^{1/k}) node-average.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/weight_aug.hpp"
+#include "core/fitting.hpp"
+#include "graph/builders.hpp"
+#include "problems/checkers.hpp"
+#include "test_util.hpp"
+
+namespace lcl {
+namespace {
+
+using graph::Tree;
+
+graph::WeightedInstance make_instance(int k, std::int64_t target_n,
+                                      std::uint64_t seed) {
+  // Classical worst-case shape: all levels have length ~ n^{1/k}.
+  const double l = std::pow(static_cast<double>(target_n),
+                            1.0 / static_cast<double>(k));
+  std::vector<std::int64_t> ell(
+      static_cast<std::size_t>(k),
+      std::max<std::int64_t>(2, static_cast<std::int64_t>(std::llround(l))));
+  auto inst = graph::make_weighted_construction(ell, 5);
+  graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, seed);
+  return inst;
+}
+
+class WeightAugSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightAugSweep, ValidOnWeightedConstruction) {
+  const int k = GetParam();
+  auto inst = make_instance(k, 4000, 31 + static_cast<std::uint64_t>(k));
+  algo::WeightAugOptions o;
+  o.k = k;
+  problems::OrientationMap orient;
+  const auto stats = algo::run_weight_aug(inst.tree, o, &orient);
+  test::assert_valid(
+      problems::check_weight_augmented(inst.tree, k, stats.output, orient));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, WeightAugSweep, ::testing::Values(2, 3));
+
+TEST(WeightAug, NodeAverageScalesLikeRootK) {
+  const int k = 2;
+  std::vector<core::Sample> samples;
+  for (std::int64_t n : {2000, 8000, 32000}) {
+    auto inst = make_instance(k, n, 7);
+    algo::WeightAugOptions o;
+    o.k = k;
+    problems::OrientationMap orient;
+    const auto stats = algo::run_weight_aug(inst.tree, o, &orient);
+    test::assert_valid(problems::check_weight_augmented(
+        inst.tree, k, stats.output, orient));
+    samples.push_back({static_cast<double>(inst.tree.size()),
+                       stats.node_averaged});
+  }
+  const auto fit = core::fit_power_law(samples);
+  // Lemma 69: Theta(n^{1/2}) for k = 2.
+  EXPECT_GT(fit.exponent, 0.5 - 0.2);
+  EXPECT_LT(fit.exponent, 0.5 + 0.2);
+}
+
+TEST(WeightAug, MostWeightCopiesTheHost) {
+  // Lemma 68: Omega(w) of each balanced weight tree copies the host's
+  // output (efficiency factor x = 1).
+  auto inst = make_instance(2, 6000, 11);
+  algo::WeightAugOptions o;
+  o.k = 2;
+  problems::OrientationMap orient;
+  const auto stats = algo::run_weight_aug(inst.tree, o, &orient);
+  std::int64_t weight = 0, copying = 0;
+  for (graph::NodeId v = 0; v < inst.tree.size(); ++v) {
+    if (inst.tree.input(v) !=
+        static_cast<int>(graph::WeightInput::kWeight)) {
+      continue;
+    }
+    ++weight;
+    if (stats.output[static_cast<std::size_t>(v)].secondary >= 0) {
+      ++copying;
+    }
+  }
+  ASSERT_GT(weight, 0);
+  EXPECT_GT(static_cast<double>(copying),
+            0.9 * static_cast<double>(weight));
+}
+
+}  // namespace
+}  // namespace lcl

@@ -20,23 +20,26 @@
 #include "algo/apoly.hpp"
 #include "algo/fast_decomp.hpp"
 #include "algo/generic_hier.hpp"
-#include "core/exponents.hpp"
 #include "core/experiment.hpp"
+#include "core/exponents.hpp"
 #include "graph/builders.hpp"
 #include "problems/checkers.hpp"
 #include "problems/labels.hpp"
+#include "scenario.hpp"
 
 namespace {
 
 using namespace lcl;
 
-void ablation_weight_handling() {
+void ablation_weight_handling(bench::ScenarioContext& ctx) {
   std::printf("(a) weight handling: Algorithm A vs naive all-copy\n");
   std::printf("  %10s %16s %16s\n", "n", "AlgoA node-avg",
               "naive node-avg");
   const double x = core::efficiency_x(5, 2);
   const auto alphas = core::alpha_profile_poly(x, 2);
-  for (std::int64_t n : {20000, 60000, 180000}) {
+  double smart_last = 0.0, naive_last = 0.0;
+  for (const std::int64_t base : {20000, 60000, 180000}) {
+    const std::int64_t n = ctx.scaled(base);
     const auto ell = core::lower_bound_lengths(
         alphas, static_cast<double>(n), n);
     auto inst = graph::make_weighted_construction(ell, 5);
@@ -55,12 +58,15 @@ void ablation_weight_handling() {
     std::printf("  %10d %16.2f %16.2f %s%s\n", inst.tree.size(),
                 smart.node_averaged, naive.node_averaged,
                 cs.ok ? "" : "SMART-INVALID ", cn.ok ? "" : "NAIVE-INVALID");
+    smart_last = smart.node_averaged;
+    naive_last = naive.node_averaged;
   }
+  ctx.metric("weight_naive_over_smart", naive_last / smart_last);
   std::printf("  -> the d-free machinery keeps most weight from waiting; "
               "naive copies pay the full level-k latency.\n\n");
 }
 
-void ablation_gamma_profile() {
+void ablation_gamma_profile(bench::ScenarioContext& ctx) {
   // Each profile faces its own adversarial instance: the adversary sets
   // the level-1 path length to exactly gamma_1, the Decline threshold
   // (Lemma 20's dichotomy), so the algorithm pays its full budget.
@@ -68,7 +74,9 @@ void ablation_gamma_profile() {
               "adversarial instances\n");
   std::printf("  %10s %22s %22s\n", "n", "geometric (vs n^{1/3})",
               "uniform n^{1/2}");
-  for (std::int64_t n : {30000, 120000, 480000}) {
+  double geo_last = 0.0, uni_last = 0.0;
+  for (const std::int64_t base : {30000, 120000, 480000}) {
+    const std::int64_t n = ctx.scaled(base);
     auto run_with_gamma = [&](std::int64_t gamma1) {
       std::vector<std::int64_t> ell = {gamma1,
                                        std::max<std::int64_t>(2, n / gamma1)};
@@ -84,19 +92,24 @@ void ablation_gamma_profile() {
     const std::int64_t g_uni = std::max<std::int64_t>(
         2, static_cast<std::int64_t>(
                std::llround(std::sqrt(static_cast<double>(n)))));
+    geo_last = run_with_gamma(g_geo);
+    uni_last = run_with_gamma(g_uni);
     std::printf("  %10lld %22.2f %22.2f\n", static_cast<long long>(n),
-                run_with_gamma(g_geo), run_with_gamma(g_uni));
+                geo_last, uni_last);
   }
+  ctx.metric("gamma_uniform_over_geometric", uni_last / geo_last);
   std::printf("  -> tuned to t = n^{1/3} the worst instance costs "
               "~n^{1/3}; a uniform n^{1/2} threshold hands the adversary "
               "a ~n^{1/2} bill (Lemma 14 vs the naive profile).\n\n");
 }
 
-void ablation_early_resolution() {
+void ablation_early_resolution(bench::ScenarioContext& ctx) {
   std::printf("(c) fast-decomposition early resolution (Corollary 47)\n");
   std::printf("  %10s %20s %20s\n", "w", "backlog/w with",
               "backlog/w without");
-  for (graph::NodeId w : {4000, 16000, 64000, 256000}) {
+  double with_last = 0.0, without_last = 0.0;
+  for (const std::int64_t base : {4000, 16000, 64000, 256000}) {
+    const auto w = static_cast<graph::NodeId>(ctx.scaled(base));
     graph::Tree t = graph::make_balanced_weight_tree(w, 7);
     std::vector<char> part(static_cast<std::size_t>(w), 1);
     std::vector<char> is_a(static_cast<std::size_t>(w), 0);
@@ -114,10 +127,12 @@ void ablation_early_resolution() {
         algo::run_fast_decomposition(t, part, is_a, 3, true);
     const auto without_rule =
         algo::run_fast_decomposition(t, part, is_a, 3, false);
-    std::printf("  %10d %20.2f %20.2f\n", w,
-                static_cast<double>(backlog(with_rule)) / w,
-                static_cast<double>(backlog(without_rule)) / w);
+    with_last = static_cast<double>(backlog(with_rule)) / w;
+    without_last = static_cast<double>(backlog(without_rule)) / w;
+    std::printf("  %10d %20.2f %20.2f\n", w, with_last, without_last);
   }
+  ctx.metric("backlog_with_rule", with_last);
+  ctx.metric("backlog_without_rule", without_last);
   std::printf("  -> per-node backlog (= average waiting of the Decline "
               "mass) stays O(1) with the rule and grows like the tree "
               "depth (log w) without it.\n");
@@ -125,10 +140,13 @@ void ablation_early_resolution() {
 
 }  // namespace
 
-int main() {
+namespace lcl::bench {
+
+void run_ablation(ScenarioContext& ctx) {
   std::printf("== E14: ablations ==\n\n");
-  ablation_weight_handling();
-  ablation_gamma_profile();
-  ablation_early_resolution();
-  return 0;
+  ablation_weight_handling(ctx);
+  ablation_gamma_profile(ctx);
+  ablation_early_resolution(ctx);
 }
+
+}  // namespace lcl::bench

@@ -11,6 +11,7 @@
 #include "core/experiment.hpp"
 #include "graph/builders.hpp"
 #include "problems/checkers.hpp"
+#include "scenario.hpp"
 
 namespace {
 
@@ -36,20 +37,32 @@ core::MeasuredRun run_two_coloring(graph::NodeId n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+namespace lcl::bench {
+
+void run_cor60_gap(ScenarioContext& ctx) {
   std::printf("== E8: Corollary 60 — the omega(sqrt n)..o(n) gap ==\n\n");
-  std::vector<core::MeasuredRun> runs;
-  for (graph::NodeId n : {2000, 5657, 16000, 45255}) {
-    runs.push_back(run_two_coloring(n, static_cast<std::uint64_t>(n)));
+  std::vector<core::BatchJob> jobs;
+  for (const std::int64_t base : {2000, 5657, 16000, 45255}) {
+    const auto n = static_cast<graph::NodeId>(ctx.scaled(base));
+    core::BatchJob job;
+    job.label = "2col-n" + std::to_string(n);
+    job.scale = static_cast<double>(n);
+    job.seed = static_cast<std::uint64_t>(n);
+    job.run = [n](std::uint64_t seed) {
+      return run_two_coloring(n, seed);
+    };
+    jobs.push_back(std::move(job));
   }
-  core::print_experiment(
+  auto runs = ctx.run_sweep(std::move(jobs));
+  ctx.report(
       "2-coloring of paths: worst case Theta(n) forces node-avg Theta(n)",
-      runs, "n", 1.0, 1.0);
+      "n", 1.0, 1.0, std::move(runs));
   std::printf(
       "Lemma 59's amplification in action: a node running t rounds forces\n"
       "t/2 - 1 nodes within distance t/2 to run t/2 rounds, so linear\n"
       "worst case implies linear node-average. Together with the\n"
       "Theta(n^{1/2}) class of E7 this brackets the proven gap: no LCL has\n"
       "node-averaged complexity strictly between sqrt(n) and n.\n");
-  return 0;
 }
+
+}  // namespace lcl::bench

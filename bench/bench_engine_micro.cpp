@@ -1,100 +1,256 @@
-// Substrate micro-benchmarks (google-benchmark): engine round
-// throughput, instance construction, decomposition, and the full
-// solver pipelines at fixed sizes. These guard the "simulation cost =
-// O(sum of termination rounds)" property the experiment benches rely on.
-#include <benchmark/benchmark.h>
+// Substrate micro-benchmarks: arena-engine round throughput against the
+// frozen pre-refactor baseline (legacy_engine.hpp), plus the batched
+// multi-thread sweep speedup. These guard the "simulation cost =
+// O(sum of termination rounds)" property the experiment scenarios rely
+// on, and keep the engine's perf trajectory visible in BENCH_*.json.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
 
-#include "algo/apoly.hpp"
-#include "algo/generic_hier.hpp"
-#include "core/exponents.hpp"
-#include "core/experiment.hpp"
-#include "decomp/rake_compress.hpp"
+#include "core/batch.hpp"
 #include "graph/builders.hpp"
-#include "problems/levels.hpp"
+#include "legacy_engine.hpp"
+#include "local/engine.hpp"
+#include "scenario.hpp"
 
 namespace {
 
 using namespace lcl;
 
-void BM_EngineWavePath(benchmark::State& state) {
-  const graph::NodeId n = static_cast<graph::NodeId>(state.range(0));
-  graph::Tree t = graph::make_path(n);
-  graph::assign_ids(t, graph::IdScheme::kShuffled, 1);
-  for (auto _ : state) {
-    algo::GenericOptions o;
-    o.variant = problems::Variant::kTwoHalf;
-    o.k = 1;
-    const auto stats = algo::run_generic(t, o);
-    benchmark::DoNotOptimize(stats.total_rounds);
-    state.counters["node_rounds"] =
-        static_cast<double>(stats.total_rounds);
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_EngineWavePath)->Arg(1 << 12)->Arg(1 << 14);
+// The micro workload, implemented identically against both engines: a
+// token wave down a path. Node 0 emits at round 1 and terminates; node i
+// forwards one hop per round and terminates when the token arrives, so
+// sum_v T_v = Theta(n^2) engine-visible node-rounds with tiny registers —
+// the engine's bookkeeping dominates, which is exactly what we measure.
 
-void BM_LinialPath(benchmark::State& state) {
-  const graph::NodeId n = static_cast<graph::NodeId>(state.range(0));
-  graph::Tree t = graph::make_path(n);
-  graph::assign_ids(t, graph::IdScheme::kShuffled, 2);
-  for (auto _ : state) {
-    algo::GenericOptions o;
-    o.variant = problems::Variant::kThreeHalf;
-    o.k = 1;
-    const auto stats = algo::run_generic(t, o);
-    benchmark::DoNotOptimize(stats.worst_case);
+class ArenaWave final : public local::Program {
+ public:
+  void on_init(local::NodeCtx&) override {}
+  void on_round(local::NodeCtx& ctx) override {
+    if (ctx.node() == 0) {
+      ctx.publish({1});
+      ctx.terminate(0);
+      return;
+    }
+    const local::RegView left = ctx.peek(0);
+    if (!left.empty() && left[0] == 1) {
+      ctx.publish({1});
+      ctx.terminate(0);
+    }
   }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_LinialPath)->Arg(1 << 14)->Arg(1 << 17);
+};
 
-void BM_Levels(benchmark::State& state) {
-  const graph::Tree t = graph::make_random_tree(
-      static_cast<graph::NodeId>(state.range(0)), 4, 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(problems::compute_levels(t, 3));
+class LegacyWave final : public bench::legacy::Program {
+ public:
+  void on_init(bench::legacy::NodeCtx&) override {}
+  void on_round(bench::legacy::NodeCtx& ctx) override {
+    if (ctx.node() == 0) {
+      ctx.publish({1});
+      ctx.terminate(0);
+      return;
+    }
+    const bench::legacy::Register& left = ctx.peek(0);
+    if (!left.empty() && left[0] == 1) {
+      ctx.publish({1});
+      ctx.terminate(0);
+    }
   }
-  state.SetItemsProcessed(state.iterations() * t.size());
-}
-BENCHMARK(BM_Levels)->Arg(1 << 14)->Arg(1 << 17);
+};
 
-void BM_RakeCompress(benchmark::State& state) {
-  const graph::Tree t = graph::make_random_tree(
-      static_cast<graph::NodeId>(state.range(0)), 4, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(decomp::rake_compress(t, 1, 4, true));
-  }
-  state.SetItemsProcessed(state.iterations() * t.size());
-}
-BENCHMARK(BM_RakeCompress)->Arg(1 << 14)->Arg(1 << 17);
+// A staggered-termination workload: node v terminates at round
+// (v mod 64) + 1, so the alive set shrinks by n/64 nodes per round —
+// stresses alive-list compaction rather than register traffic.
 
-void BM_WeightedConstruction(benchmark::State& state) {
-  for (auto _ : state) {
-    auto inst = graph::make_weighted_construction({40, 400}, 5);
-    benchmark::DoNotOptimize(inst.tree.size());
+class ArenaStagger final : public local::Program {
+ public:
+  void on_init(local::NodeCtx&) override {}
+  void on_round(local::NodeCtx& ctx) override {
+    if (ctx.round() == (ctx.node() % 64) + 1) ctx.terminate(0);
   }
-}
-BENCHMARK(BM_WeightedConstruction);
+};
 
-void BM_ApolyEndToEnd(benchmark::State& state) {
-  const double x = core::efficiency_x(5, 2);
-  const auto alphas = core::alpha_profile_poly(x, 2);
-  const auto ell = core::lower_bound_lengths(alphas, 20000.0, 20000);
-  auto inst = graph::make_weighted_construction(ell, 5);
-  graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, 5);
-  for (auto _ : state) {
-    algo::ApolyOptions o;
-    o.k = 2;
-    o.d = 2;
-    o.gammas = core::gammas_from_profile(
-        alphas, static_cast<double>(inst.tree.size()));
-    const auto stats = algo::run_apoly(inst.tree, o);
-    benchmark::DoNotOptimize(stats.node_averaged);
+class LegacyStagger final : public bench::legacy::Program {
+ public:
+  void on_init(bench::legacy::NodeCtx&) override {}
+  void on_round(bench::legacy::NodeCtx& ctx) override {
+    if (ctx.round() == (ctx.node() % 64) + 1) ctx.terminate(0);
   }
-  state.SetItemsProcessed(state.iterations() * inst.tree.size());
+};
+
+// A chatty workload mirroring the real wave programs (generic_hier's
+// 6-word wave registers, decomp_program's per-round republish): every
+// alive node republishes a 6-word register every round and terminates
+// after 64 rounds. Register traffic dominates: the legacy engine pays a
+// vector assignment on publish plus a vector copy at the flip, the arena
+// engine one 6-word write plus a parity toggle.
+
+class ArenaChatter final : public local::Program {
+ public:
+  void on_init(local::NodeCtx& ctx) override {
+    ctx.publish({0, 0, 0, 0, 0, 0});
+  }
+  void on_round(local::NodeCtx& ctx) override {
+    const local::RegView mine = ctx.own();
+    ctx.publish({mine[0] + 1, mine[1], mine[2], mine[3], mine[4],
+                 mine[5]});
+    if (ctx.round() == 64) ctx.terminate(0);
+  }
+};
+
+class LegacyChatter final : public bench::legacy::Program {
+ public:
+  void on_init(bench::legacy::NodeCtx& ctx) override {
+    ctx.publish({0, 0, 0, 0, 0, 0});
+  }
+  void on_round(bench::legacy::NodeCtx& ctx) override {
+    const bench::legacy::Register& mine = ctx.peek_self();
+    ctx.publish({mine[0] + 1, mine[1], mine[2], mine[3], mine[4],
+                 mine[5]});
+    if (ctx.round() == 64) ctx.terminate(0);
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
-BENCHMARK(BM_ApolyEndToEnd);
+
+/// Node-rounds per second of `run_once` (which returns sum_v T_v per
+/// call), timed over enough iterations to dominate clock noise.
+template <typename F>
+double throughput(F run_once) {
+  // Warm-up also primes allocator caches for both engines alike.
+  std::int64_t node_rounds = run_once();
+  const auto start = std::chrono::steady_clock::now();
+  std::int64_t total = 0;
+  int iters = 0;
+  do {
+    total += run_once();
+    ++iters;
+  } while (seconds_since(start) < 0.5 && iters < 50);
+  (void)node_rounds;
+  return static_cast<double>(total) / seconds_since(start);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace lcl::bench {
+
+void run_engine_micro(ScenarioContext& ctx) {
+  std::printf("== substrate micro-benchmarks: arena engine vs legacy "
+              "baseline ==\n\n");
+
+  const auto wave_n = static_cast<graph::NodeId>(ctx.scaled(4096));
+  const auto stagger_n = static_cast<graph::NodeId>(ctx.scaled(1 << 16));
+  const graph::Tree wave_tree = graph::make_path(wave_n);
+  const graph::Tree stagger_tree = graph::make_path(stagger_n);
+
+  const double arena_wave = throughput([&] {
+    ArenaWave p;
+    local::Engine e(wave_tree);
+    return e.run(p).total_rounds;
+  });
+  const double legacy_wave = throughput([&] {
+    LegacyWave p;
+    legacy::Engine e(wave_tree);
+    return e.run(p, wave_n + 2).total_rounds;
+  });
+  const double arena_stagger = throughput([&] {
+    ArenaStagger p;
+    local::Engine e(stagger_tree);
+    return e.run(p).total_rounds;
+  });
+  const double legacy_stagger = throughput([&] {
+    LegacyStagger p;
+    legacy::Engine e(stagger_tree);
+    return e.run(p, 65).total_rounds;
+  });
+  const auto chatter_n = static_cast<graph::NodeId>(ctx.scaled(1 << 14));
+  const graph::Tree chatter_tree = graph::make_path(chatter_n);
+  const double arena_chatter = throughput([&] {
+    ArenaChatter p;
+    local::Engine e(chatter_tree);
+    return e.run(p).total_rounds;
+  });
+  const double legacy_chatter = throughput([&] {
+    LegacyChatter p;
+    legacy::Engine e(chatter_tree);
+    return e.run(p, 65).total_rounds;
+  });
+
+  std::printf("  %-28s %14s %14s %8s\n", "workload", "arena Mnr/s",
+              "legacy Mnr/s", "speedup");
+  std::printf("  %-28s %14.2f %14.2f %7.2fx\n",
+              ("wave path n=" + std::to_string(wave_n)).c_str(),
+              arena_wave / 1e6, legacy_wave / 1e6,
+              arena_wave / legacy_wave);
+  std::printf("  %-28s %14.2f %14.2f %7.2fx\n",
+              ("stagger n=" + std::to_string(stagger_n)).c_str(),
+              arena_stagger / 1e6, legacy_stagger / 1e6,
+              arena_stagger / legacy_stagger);
+  ctx.metric("arena_wave_node_rounds_per_s", arena_wave);
+  ctx.metric("legacy_wave_node_rounds_per_s", legacy_wave);
+  ctx.metric("wave_speedup", arena_wave / legacy_wave);
+  ctx.metric("arena_stagger_node_rounds_per_s", arena_stagger);
+  ctx.metric("legacy_stagger_node_rounds_per_s", legacy_stagger);
+  ctx.metric("stagger_speedup", arena_stagger / legacy_stagger);
+  std::printf("  %-28s %14.2f %14.2f %7.2fx\n",
+              ("chatter n=" + std::to_string(chatter_n)).c_str(),
+              arena_chatter / 1e6, legacy_chatter / 1e6,
+              arena_chatter / legacy_chatter);
+  ctx.metric("arena_chatter_node_rounds_per_s", arena_chatter);
+  ctx.metric("legacy_chatter_node_rounds_per_s", legacy_chatter);
+  ctx.metric("chatter_speedup", arena_chatter / legacy_chatter);
+  const double overall = std::cbrt((arena_wave / legacy_wave) *
+                                   (arena_stagger / legacy_stagger) *
+                                   (arena_chatter / legacy_chatter));
+  std::printf("  %-28s %14s %14s %7.2fx\n", "geometric mean", "", "",
+              overall);
+  ctx.metric("overall_speedup", overall);
+
+  // Batched sweep scaling: independent wave instances through the pool,
+  // 1 thread vs the configured worker count.
+  const int workers = ctx.opts().threads;
+  const int job_count = std::max(8, 2 * workers);
+  std::vector<core::BatchJob> jobs;
+  const auto batch_n = static_cast<graph::NodeId>(ctx.scaled(2048));
+  for (int i = 0; i < job_count; ++i) {
+    core::BatchJob job;
+    job.label = "wave-" + std::to_string(i);
+    job.scale = static_cast<double>(batch_n);
+    job.seed = static_cast<std::uint64_t>(i);
+    job.run = [batch_n](std::uint64_t) {
+      const graph::Tree t = graph::make_path(batch_n);
+      ArenaWave p;
+      local::Engine e(t);
+      const auto stats = e.run(p);
+      core::MeasuredRun r;
+      r.scale = static_cast<double>(batch_n);
+      r.node_averaged = stats.node_averaged;
+      r.worst_case = stats.worst_case;
+      r.n = stats.n;
+      r.valid = true;
+      return r;
+    };
+    jobs.push_back(std::move(job));
+  }
+  const auto serial_start = std::chrono::steady_clock::now();
+  (void)core::run_batch(jobs, 1);
+  const double serial_s = seconds_since(serial_start);
+  const auto parallel_start = std::chrono::steady_clock::now();
+  (void)core::run_batch(jobs, workers);
+  const double parallel_s = seconds_since(parallel_start);
+  std::printf("\n  batch of %d wave jobs: 1 thread %.3f s, %d threads "
+              "%.3f s (%.2fx)\n",
+              job_count, serial_s, workers, parallel_s,
+              serial_s / parallel_s);
+  ctx.metric("batch_jobs", static_cast<double>(job_count));
+  ctx.metric("batch_serial_s", serial_s);
+  ctx.metric("batch_parallel_s", parallel_s);
+  ctx.metric("batch_parallel_speedup", serial_s / parallel_s);
+}
+
+}  // namespace lcl::bench

@@ -10,6 +10,7 @@
 #include "core/landscape.hpp"
 #include "graph/builders.hpp"
 #include "problems/checkers.hpp"
+#include "scenario.hpp"
 
 namespace {
 
@@ -45,20 +46,36 @@ double measure_path(problems::Variant variant, graph::NodeId n) {
 
 }  // namespace
 
-int main() {
+namespace lcl::bench {
+
+void run_fig2_landscape(ScenarioContext& ctx) {
   std::printf("== E1: node-averaged complexity landscape ==\n\n");
   print_table(/*after=*/false);
   print_table(/*after=*/true);
+  ctx.metric("rows_before",
+             static_cast<double>(core::landscape(false).size()));
+  ctx.metric("rows_after",
+             static_cast<double>(core::landscape(true).size()));
 
+  const auto n_small = static_cast<graph::NodeId>(ctx.scaled(2000));
+  const auto n_large = static_cast<graph::NodeId>(ctx.scaled(8000));
   std::printf("Measured witnesses (node-averaged rounds):\n");
-  std::printf("  Theta(n) row       — 2-coloring of paths:   n=2000: %8.1f"
-              "  n=8000: %8.1f  (ratio ~4 = linear)\n",
-              measure_path(problems::Variant::kTwoHalf, 2000),
-              measure_path(problems::Variant::kTwoHalf, 8000));
-  std::printf("  Theta(log* n) row  — 3-coloring of paths:   n=2000: %8.1f"
-              "  n=8000: %8.1f  (flat = log*)\n",
-              measure_path(problems::Variant::kThreeHalf, 2000),
-              measure_path(problems::Variant::kThreeHalf, 8000));
+  const double lin_small =
+      measure_path(problems::Variant::kTwoHalf, n_small);
+  const double lin_large =
+      measure_path(problems::Variant::kTwoHalf, n_large);
+  std::printf("  Theta(n) row       — 2-coloring of paths:   n=%d: %8.1f"
+              "  n=%d: %8.1f  (ratio ~4 = linear)\n",
+              n_small, lin_small, n_large, lin_large);
+  ctx.metric("two_coloring_growth_ratio", lin_large / lin_small);
+  const double star_small =
+      measure_path(problems::Variant::kThreeHalf, n_small);
+  const double star_large =
+      measure_path(problems::Variant::kThreeHalf, n_large);
+  std::printf("  Theta(log* n) row  — 3-coloring of paths:   n=%d: %8.1f"
+              "  n=%d: %8.1f  (flat = log*)\n",
+              n_small, star_small, n_large, star_large);
+  ctx.metric("three_coloring_growth_ratio", star_large / star_small);
 
   // Theta(sqrt n) witness (Lemma 69, new in this paper).
   {
@@ -77,6 +94,7 @@ int main() {
                 stats.node_averaged,
                 std::sqrt(static_cast<double>(inst.tree.size())),
                 check.ok ? "yes" : check.reason.c_str());
+    ctx.metric("sqrt_witness_node_avg", stats.node_averaged);
   }
 
   std::printf("\nDense-region exponents realizable by Pi^{2.5} "
@@ -86,5 +104,6 @@ int main() {
     std::printf("x=%d/%d -> n^%.4f  ", p, q, core::alpha1_poly(g.x, 2));
   }
   std::printf("\n");
-  return 0;
 }
+
+}  // namespace lcl::bench

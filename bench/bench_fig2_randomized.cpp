@@ -17,16 +17,20 @@
 #include "graph/builders.hpp"
 #include "problems/checkers.hpp"
 #include "problems/labels.hpp"
+#include "scenario.hpp"
 
-int main() {
-  using namespace lcl;
+namespace lcl::bench {
+
+void run_fig2_randomized(ScenarioContext& ctx) {
   std::printf("== E13: randomized dichotomy (Fig. 1/2): O(1) or "
               "n^{Omega(1)} ==\n\n");
 
   std::printf("randomized 3-coloring of paths (O(1) side):\n");
   std::printf("  %10s %12s %14s %16s\n", "n", "node-avg", "worst-case",
               "det node-avg");
-  for (graph::NodeId n : {4000, 16000, 64000, 256000}) {
+  double rnd_first = 0.0, rnd_last = 0.0;
+  for (const std::int64_t base : {4000, 16000, 64000, 256000}) {
+    const auto n = static_cast<graph::NodeId>(ctx.scaled(base));
     graph::Tree t = graph::make_path(n);
     graph::assign_ids(t, graph::IdScheme::kShuffled,
                       static_cast<std::uint64_t>(n));
@@ -43,14 +47,18 @@ int main() {
     std::printf("  %10d %12.2f %14lld %16.2f %s\n", n, rnd.node_averaged,
                 static_cast<long long>(rnd.worst_case),
                 det.node_averaged, check.ok ? "" : "INVALID");
+    if (rnd_first == 0.0) rnd_first = rnd.node_averaged;
+    rnd_last = rnd.node_averaged;
   }
+  ctx.metric("randomized_growth_ratio", rnd_last / rnd_first);
   std::printf("  -> flat in n (O(1)); deterministic pays the log* "
               "schedule.\n\n");
 
   std::printf("2-coloring of paths (n^{Omega(1)} side; randomness "
               "cannot help):\n");
   std::vector<core::Sample> samples;
-  for (graph::NodeId n : {2000, 8000, 32000}) {
+  for (const std::int64_t base : {2000, 8000, 32000}) {
+    const auto n = static_cast<graph::NodeId>(ctx.scaled(base));
     graph::Tree t = graph::make_path(n);
     graph::assign_ids(t, graph::IdScheme::kShuffled, 3);
     algo::GenericOptions o;
@@ -63,8 +71,10 @@ int main() {
   const auto fit = core::fit_power_law(samples);
   std::printf("  fitted exponent %.3f — squarely on the polynomial "
               "side.\n\n", fit.exponent);
+  ctx.metric("two_coloring_exponent", fit.exponent);
   std::printf("No randomized class exists strictly between: the paper's\n"
               "Figure 2 marks the whole omega(1)..n^{o(1)} randomized "
               "band as a gap.\n");
-  return 0;
 }
+
+}  // namespace lcl::bench

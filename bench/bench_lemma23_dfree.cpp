@@ -15,6 +15,7 @@
 #include "core/fitting.hpp"
 #include "graph/builders.hpp"
 #include "problems/labels.hpp"
+#include "scenario.hpp"
 
 namespace {
 
@@ -70,7 +71,9 @@ std::int64_t fda_kept_copies(const Inst& i, int d) {
 
 }  // namespace
 
-int main() {
+namespace lcl::bench {
+
+void run_lemma23_dfree(ScenarioContext& ctx) {
   std::printf("== E11: Lemmas 23/40/52 — weight-gadget efficiency ==\n\n");
   struct Config {
     int delta, d;
@@ -83,7 +86,8 @@ int main() {
     std::printf("  %10s %14s %14s %14s\n", "w", "AlgoA copies",
                 "6*w^x bound", "FDA kept");
     std::vector<core::Sample> sa, sf;
-    for (NodeId w : {1000, 4000, 16000, 64000}) {
+    for (const std::int64_t base : {1000, 4000, 16000, 64000}) {
+      const auto w = static_cast<NodeId>(ctx.scaled(base));
       const Inst inst = make(w, c.delta);
       const std::int64_t ca = algo_a_copies(inst, c.d);
       const bool fda_ok = c.d >= 3;
@@ -97,18 +101,23 @@ int main() {
         sf.push_back({static_cast<double>(w), static_cast<double>(cf)});
       }
     }
+    const std::string cfg = "D" + std::to_string(c.delta) + "_d" +
+                            std::to_string(c.d);
     const auto fa = core::fit_power_law(sa);
     std::printf("  Algorithm A copy exponent: %.3f (paper: x = %.3f)\n",
                 fa.exponent, x);
+    ctx.metric("algo_a_exponent_" + cfg, fa.exponent);
     if (!sf.empty()) {
       const auto ff = core::fit_power_law(sf);
       std::printf("  FDA kept-copy exponent:    %.3f (paper: <= x' = "
                   "%.3f)\n",
                   ff.exponent, xp);
+      ctx.metric("fda_exponent_" + cfg, ff.exponent);
     } else {
       std::printf("  FDA kept-copy exponent:    (skipped, needs d >= 3)\n");
     }
     std::printf("\n");
   }
-  return 0;
 }
+
+}  // namespace lcl::bench

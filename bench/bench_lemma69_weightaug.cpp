@@ -9,6 +9,7 @@
 #include "core/experiment.hpp"
 #include "graph/builders.hpp"
 #include "problems/checkers.hpp"
+#include "scenario.hpp"
 
 namespace {
 
@@ -43,21 +44,31 @@ core::MeasuredRun run_one(int k, std::int64_t target_n,
 
 }  // namespace
 
-int main() {
+namespace lcl::bench {
+
+void run_lemma69_weightaug(ScenarioContext& ctx) {
   std::printf("== E7: Lemma 69 — weight-augmented 2.5-coloring is "
               "Theta(n^{1/k}) ==\n\n");
   for (int k : {2, 3}) {
-    std::vector<core::MeasuredRun> runs;
-    for (std::int64_t n : {8000, 32000, 128000, 512000}) {
-      runs.push_back(run_one(k, n, static_cast<std::uint64_t>(n + k)));
+    std::vector<core::BatchJob> jobs;
+    for (const std::int64_t base : {8000, 32000, 128000, 512000}) {
+      const std::int64_t n = ctx.scaled(base);
+      core::BatchJob job;
+      job.label = "waug-n" + std::to_string(n);
+      job.scale = static_cast<double>(n);
+      job.seed = static_cast<std::uint64_t>(n + k);
+      job.run = [k, n](std::uint64_t seed) { return run_one(k, n, seed); };
+      jobs.push_back(std::move(job));
     }
+    auto runs = ctx.run_sweep(std::move(jobs));
     const double predicted = 1.0 / k;
     char title[128];
     std::snprintf(title, sizeof(title),
                   "weight-augmented 2.5-coloring, k=%d: node-avg ~ "
                   "n^{1/k}",
                   k);
-    core::print_experiment(title, runs, "n", predicted, predicted);
+    ctx.report(title, "n", predicted, predicted, std::move(runs));
   }
-  return 0;
 }
+
+}  // namespace lcl::bench

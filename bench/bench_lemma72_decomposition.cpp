@@ -7,15 +7,18 @@
 
 #include "decomp/rake_compress.hpp"
 #include "graph/builders.hpp"
+#include "scenario.hpp"
 
-int main() {
-  using namespace lcl;
+namespace lcl::bench {
+
+void run_lemma72_decomposition(ScenarioContext& ctx) {
   std::printf("== E10: Lemma 72 — rake & compress decompositions ==\n\n");
 
   std::printf("gamma = 1 (proper, ell = 4): layers vs log2(n)\n");
   std::printf("  %10s %10s %12s %10s\n", "n", "layers", "log2(n)",
               "valid");
-  for (graph::NodeId n : {1000, 10000, 100000, 1000000}) {
+  for (const std::int64_t base : {1000, 10000, 100000, 1000000}) {
+    const auto n = static_cast<graph::NodeId>(ctx.scaled(base));
     const graph::Tree t = graph::make_random_tree(n, 4, 42);
     const auto d = decomp::rake_compress(t, 1, 4, true);
     const std::string err = decomp::validate_decomposition(t, d);
@@ -27,7 +30,8 @@ int main() {
   std::printf("\ngamma = n^{1/k} * (ell/2)^{1-1/k}: layers vs k\n");
   std::printf("  %10s %4s %10s %10s %10s\n", "n", "k", "gamma", "layers",
               "valid");
-  for (graph::NodeId n : {10000, 100000}) {
+  for (const std::int64_t base : {10000, 100000}) {
+    const auto n = static_cast<graph::NodeId>(ctx.scaled(base));
     const graph::Tree t = graph::make_random_tree(n, 4, 7);
     for (int k : {2, 3, 4}) {
       const int gamma = static_cast<int>(std::ceil(
@@ -41,15 +45,20 @@ int main() {
   }
 
   std::printf("\nthroughput (proper, gamma = 1):\n");
-  for (graph::NodeId n : {100000, 400000}) {
+  double mnodes_per_s = 0.0;
+  for (const std::int64_t base : {100000, 400000}) {
+    const auto n = static_cast<graph::NodeId>(ctx.scaled(base));
     const graph::Tree t = graph::make_random_tree(n, 4, 11);
     const auto start = std::chrono::steady_clock::now();
     const auto d = decomp::rake_compress(t, 1, 4, true);
     const auto stop = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(stop - start).count();
+    mnodes_per_s = static_cast<double>(n) / ms / 1000.0;
     std::printf("  n=%8d: %8.1f ms (%d layers, %.1f Mnodes/s)\n", n, ms,
-                d.num_layers, static_cast<double>(n) / ms / 1000.0);
+                d.num_layers, mnodes_per_s);
   }
-  return 0;
+  ctx.metric("rake_compress_mnodes_per_s", mnodes_per_s);
 }
+
+}  // namespace lcl::bench

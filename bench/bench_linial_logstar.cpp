@@ -11,16 +11,20 @@
 #include "graph/builders.hpp"
 #include "local/logstar.hpp"
 #include "problems/checkers.hpp"
+#include "scenario.hpp"
 
-int main() {
-  using namespace lcl;
+namespace lcl::bench {
+
+void run_linial_logstar(ScenarioContext& ctx) {
   std::printf("== E12: Linial / Corollary 17 — 3-coloring paths in "
               "Theta(log* n) ==\n\n");
 
   std::printf("Real Cole-Vishkin (no pad): rounds vs n\n");
   std::printf("  %10s %10s %12s %12s %10s\n", "n", "log*(n)",
               "CV schedule", "worst-case", "node-avg");
-  for (graph::NodeId n : {100, 1000, 10000, 100000, 1000000}) {
+  double cv_node_avg = 0.0;
+  for (const std::int64_t base : {100, 1000, 10000, 100000, 1000000}) {
+    const auto n = static_cast<graph::NodeId>(ctx.scaled(base));
     graph::Tree t = graph::make_path(n);
     graph::assign_ids(t, graph::IdScheme::kShuffled,
                       static_cast<std::uint64_t>(n));
@@ -30,18 +34,22 @@ int main() {
     const auto stats = algo::run_generic(t, o);
     const auto check =
         problems::check_three_coloring(t, stats.primaries());
+    cv_node_avg = stats.node_averaged;
     std::printf("  %10d %10d %12zu %12lld %10.2f %s\n", n,
                 local::log_star(static_cast<std::uint64_t>(n)),
                 algo::cv_schedule(n).size(),
                 static_cast<long long>(stats.worst_case),
                 stats.node_averaged, check.ok ? "" : "INVALID");
   }
+  ctx.metric("cv_node_avg_largest_n", cv_node_avg);
 
   std::printf("\nVirtual log* (pad Lambda): rounds vs Lambda at n = "
-              "20000\n");
+              "%lld\n",
+              static_cast<long long>(ctx.scaled(20000)));
   std::printf("  %10s %12s %10s\n", "Lambda", "worst-case", "node-avg");
-  for (std::int64_t lambda : {0, 16, 64, 256, 1024}) {
-    graph::Tree t = graph::make_path(20000);
+  for (const std::int64_t lambda : {0, 16, 64, 256, 1024}) {
+    graph::Tree t =
+        graph::make_path(static_cast<graph::NodeId>(ctx.scaled(20000)));
     graph::assign_ids(t, graph::IdScheme::kShuffled, 9);
     algo::GenericOptions o;
     o.variant = problems::Variant::kThreeHalf;
@@ -55,7 +63,8 @@ int main() {
   }
 
   std::printf("\n2-coloring contrast (the Theta(n) substrate):\n");
-  for (graph::NodeId n : {1000, 4000, 16000}) {
+  for (const std::int64_t base : {1000, 4000, 16000}) {
+    const auto n = static_cast<graph::NodeId>(ctx.scaled(base));
     graph::Tree t = graph::make_path(n);
     algo::GenericOptions o;
     o.variant = problems::Variant::kTwoHalf;
@@ -64,5 +73,6 @@ int main() {
     std::printf("  n=%6d: node-avg %10.1f (n/4 = %.1f)\n", n,
                 stats.node_averaged, n / 4.0);
   }
-  return 0;
 }
+
+}  // namespace lcl::bench

@@ -9,7 +9,6 @@
 // rounds. The fitted exponent of node-average vs Lambda is compared to
 // the paper's 1/2^{k-1}. A baseline row reproduces the prior-work
 // Theta(n^{1/(2k-1)}) for the 2.5 variant (BBK+23b), fit against n.
-#include <cmath>
 #include <cstdio>
 
 #include "algo/generic_hier.hpp"
@@ -17,6 +16,7 @@
 #include "graph/builders.hpp"
 #include "problems/checkers.hpp"
 #include "problems/levels.hpp"
+#include "scenario.hpp"
 
 namespace {
 
@@ -84,32 +84,51 @@ core::MeasuredRun run_25(int k, std::int64_t target_n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+namespace lcl::bench {
+
+void run_thm11_hier35(ScenarioContext& ctx) {
   std::printf("== E2: Theorem 11 — k-hierarchical 3.5-coloring ==\n\n");
+  const std::int64_t target_n = ctx.scaled(60000);
   for (int k : {2, 3}) {
-    std::vector<core::MeasuredRun> runs;
-    for (std::int64_t lambda : {64, 192, 576, 1728, 5184}) {
-      runs.push_back(run_35(k, lambda, 60000, 11 * k + lambda));
+    std::vector<core::BatchJob> jobs;
+    for (const std::int64_t lambda : {64, 192, 576, 1728, 5184}) {
+      core::BatchJob job;
+      job.label = "hier35-L" + std::to_string(lambda);
+      job.scale = static_cast<double>(lambda);
+      job.seed = static_cast<std::uint64_t>(11 * k + lambda);
+      job.run = [k, lambda, target_n](std::uint64_t seed) {
+        return run_35(k, lambda, target_n, seed);
+      };
+      jobs.push_back(std::move(job));
     }
+    auto runs = ctx.run_sweep(std::move(jobs));
     const double predicted = 1.0 / (1 << (k - 1));
     char title[128];
     std::snprintf(title, sizeof(title),
                   "3.5-coloring, k=%d: node-avg ~ Lambda^{1/2^{k-1}}", k);
-    core::print_experiment(title, runs, "Lambda", predicted, predicted);
+    ctx.report(title, "Lambda", predicted, predicted, std::move(runs));
   }
 
   std::printf("Baseline (prior work, BBK+23b): 2.5-coloring "
               "Theta(n^{1/(2k-1)})\n\n");
   for (int k : {2, 3}) {
-    std::vector<core::MeasuredRun> runs;
-    for (std::int64_t n : {20000, 60000, 180000, 540000}) {
-      runs.push_back(run_25(k, n, 5 * k + n));
+    std::vector<core::BatchJob> jobs;
+    for (const std::int64_t base : {20000, 60000, 180000, 540000}) {
+      const std::int64_t n = ctx.scaled(base);
+      core::BatchJob job;
+      job.label = "hier25-n" + std::to_string(n);
+      job.scale = static_cast<double>(n);
+      job.seed = static_cast<std::uint64_t>(5 * k + n);
+      job.run = [k, n](std::uint64_t seed) { return run_25(k, n, seed); };
+      jobs.push_back(std::move(job));
     }
+    auto runs = ctx.run_sweep(std::move(jobs));
     const double predicted = 1.0 / (2 * k - 1);
     char title[128];
     std::snprintf(title, sizeof(title),
                   "2.5-coloring, k=%d: node-avg ~ n^{1/(2k-1)}", k);
-    core::print_experiment(title, runs, "n", predicted, predicted);
+    ctx.report(title, "n", predicted, predicted, std::move(runs));
   }
-  return 0;
 }
+
+}  // namespace lcl::bench

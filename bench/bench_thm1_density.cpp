@@ -1,6 +1,6 @@
 // E5 — Theorem 1 (with Lemma 58): for every 0 < r1 < r2 <= 1/2 there are
 // parameters (Delta, d, k) with alpha1 in [r1, r2] — the polynomial
-// regime is dense. This bench runs the constructive search over a grid
+// regime is dense. This scenario runs the constructive search over a grid
 // of target intervals, prints the realized parameters, and spot-checks
 // two of them empirically with A_poly.
 #include <cstdio>
@@ -11,72 +11,70 @@
 #include "graph/builders.hpp"
 #include "problems/checkers.hpp"
 #include "problems/labels.hpp"
+#include "scenario.hpp"
 
 namespace {
 
 using namespace lcl;
 
-/// Node-average with the Connect/Decline weight nodes' contribution
-/// removed — exactly the accounting of Theorem 2's proof ("terminate in
-/// O(log n) rounds and can therefore be ignored"); at finite n that
-/// logarithmic floor otherwise swamps small exponents.
-double adjusted_average(const graph::Tree& tree,
-                        const local::RunStats& stats) {
-  std::int64_t total = 0;
-  for (graph::NodeId v = 0; v < tree.size(); ++v) {
-    const bool weight =
-        tree.input(v) == static_cast<int>(graph::WeightInput::kWeight);
-    const bool copy =
-        stats.output[static_cast<std::size_t>(v)].primary ==
-        static_cast<int>(problems::WeightOut::kCopy);
-    if (weight && !copy) continue;
-    total += stats.termination_round[static_cast<std::size_t>(v)];
-  }
-  return static_cast<double>(total) / static_cast<double>(tree.size());
-}
-
-void spot_check(const core::DensityChoice& choice) {
+core::MeasuredRun spot_run(const core::DensityChoice& choice,
+                           std::int64_t n, std::uint64_t seed) {
   const double x = choice.params.x;
   const auto alphas = core::alpha_profile_poly(x, choice.k);
-  std::vector<core::MeasuredRun> runs;
-  for (std::int64_t n : {20000, 80000, 320000}) {
-    const auto ell =
-        core::lower_bound_lengths(alphas, static_cast<double>(n), n);
-    auto inst = graph::make_weighted_construction(ell, choice.params.delta);
-    graph::assign_ids(inst.tree, graph::IdScheme::kShuffled,
-                      static_cast<std::uint64_t>(n));
-    algo::ApolyOptions o;
-    o.k = choice.k;
-    o.d = choice.params.d;
-    for (int i = 0; i + 1 < choice.k; ++i) {
-      o.gammas.push_back(std::max<std::int64_t>(
-          2, inst.skeleton_lengths[static_cast<std::size_t>(i)]));
-    }
-    const auto stats = algo::run_apoly(inst.tree, o);
-    const auto check = problems::check_weighted(
-        inst.tree, choice.k, choice.params.d,
-        problems::Variant::kTwoHalf, stats.output);
-    core::MeasuredRun r;
-    r.scale = static_cast<double>(inst.tree.size());
-    r.node_averaged = adjusted_average(inst.tree, stats);
-    r.worst_case = stats.worst_case;
-    r.n = inst.tree.size();
-    r.valid = check.ok;
-    r.check_reason = check.reason;
-    runs.push_back(r);
+  const auto ell =
+      core::lower_bound_lengths(alphas, static_cast<double>(n), n);
+  auto inst = graph::make_weighted_construction(ell, choice.params.delta);
+  graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, seed);
+  algo::ApolyOptions o;
+  o.k = choice.k;
+  o.d = choice.params.d;
+  for (int i = 0; i + 1 < choice.k; ++i) {
+    o.gammas.push_back(std::max<std::int64_t>(
+        2, inst.skeleton_lengths[static_cast<std::size_t>(i)]));
   }
+  const auto stats = algo::run_apoly(inst.tree, o);
+  const auto check = problems::check_weighted(
+      inst.tree, choice.k, choice.params.d,
+      problems::Variant::kTwoHalf, stats.output);
+  core::MeasuredRun r;
+  r.scale = static_cast<double>(inst.tree.size());
+  r.node_averaged = core::weight_adjusted_average(inst.tree, stats);
+  r.worst_case = stats.worst_case;
+  r.n = inst.tree.size();
+  r.valid = check.ok;
+  r.check_reason = check.reason;
+  return r;
+}
+
+void spot_check(lcl::bench::ScenarioContext& ctx,
+                const core::DensityChoice& choice) {
+  std::vector<core::BatchJob> jobs;
+  for (const std::int64_t base : {20000, 80000, 320000}) {
+    const std::int64_t n = ctx.scaled(base);
+    core::BatchJob job;
+    job.label = "density-n" + std::to_string(n);
+    job.scale = static_cast<double>(n);
+    job.seed = static_cast<std::uint64_t>(n);
+    job.run = [choice, n](std::uint64_t seed) {
+      return spot_run(choice, n, seed);
+    };
+    jobs.push_back(std::move(job));
+  }
+  auto runs = ctx.run_sweep(std::move(jobs));
   char title[160];
   std::snprintf(title, sizeof(title),
                 "spot check Delta=%d d=%d k=%d: target exponent %.4f",
                 choice.params.delta, choice.params.d, choice.k,
                 choice.exponent);
-  core::print_experiment(title, runs, "n", choice.exponent,
-                         choice.exponent);
+  ctx.report(title, "n", choice.exponent, choice.exponent,
+             std::move(runs));
 }
 
 }  // namespace
 
-int main() {
+namespace lcl::bench {
+
+void run_thm1_density(ScenarioContext& ctx) {
   std::printf("== E5: Theorem 1 — density of the polynomial regime ==\n\n");
   std::printf("  %-16s %8s %6s %4s %10s %10s\n", "target [r1,r2]", "Delta",
               "d", "k", "x=p/q", "alpha1");
@@ -95,13 +93,15 @@ int main() {
                 c.exponent);
     chosen.push_back(c);
   }
+  ctx.metric("intervals_realized", static_cast<double>(chosen.size()));
   std::printf("\nEvery target interval admitted Lemma-58 parameters "
               "(Delta = 2^q + 1, d = 2^q - 2^p).\n\n");
 
   // Spot-check two rows with laptop-scale Delta (the huge-Delta rows
   // are analytically exact but their weight trees have depth ~2 at any
   // feasible n, so scaling measurements are meaningless there).
-  spot_check(chosen.front());
-  spot_check(chosen[5]);
-  return 0;
+  spot_check(ctx, chosen.front());
+  spot_check(ctx, chosen[5]);
 }
+
+}  // namespace lcl::bench

@@ -13,29 +13,11 @@
 #include "graph/builders.hpp"
 #include "problems/checkers.hpp"
 #include "problems/labels.hpp"
+#include "scenario.hpp"
 
 namespace {
 
 using namespace lcl;
-
-/// Node-average with the Connect/Decline weight nodes' contribution
-/// removed — exactly the accounting of Theorem 2's proof ("terminate in
-/// O(log n) rounds and can therefore be ignored"); at finite n that
-/// logarithmic floor otherwise swamps small exponents.
-double adjusted_average(const graph::Tree& tree,
-                        const local::RunStats& stats) {
-  std::int64_t total = 0;
-  for (graph::NodeId v = 0; v < tree.size(); ++v) {
-    const bool weight =
-        tree.input(v) == static_cast<int>(graph::WeightInput::kWeight);
-    const bool copy =
-        stats.output[static_cast<std::size_t>(v)].primary ==
-        static_cast<int>(problems::WeightOut::kCopy);
-    if (weight && !copy) continue;
-    total += stats.termination_round[static_cast<std::size_t>(v)];
-  }
-  return static_cast<double>(total) / static_cast<double>(tree.size());
-}
 
 core::MeasuredRun run_one(int delta, int d, int k, std::int64_t target_n,
                           std::uint64_t seed) {
@@ -62,7 +44,7 @@ core::MeasuredRun run_one(int delta, int d, int k, std::int64_t target_n,
 
   core::MeasuredRun r;
   r.scale = static_cast<double>(inst.tree.size());
-  r.node_averaged = adjusted_average(inst.tree, stats);
+  r.node_averaged = core::weight_adjusted_average(inst.tree, stats);
   r.worst_case = stats.worst_case;
   r.n = inst.tree.size();
   r.valid = check.ok;
@@ -72,7 +54,9 @@ core::MeasuredRun run_one(int delta, int d, int k, std::int64_t target_n,
 
 }  // namespace
 
-int main() {
+namespace lcl::bench {
+
+void run_thm2_pi25(ScenarioContext& ctx) {
   std::printf("== E3: Theorems 2/3 — Pi^{2.5}_{Delta,d,k} is "
               "Theta(n^{alpha1}) ==\n\n");
   struct Config {
@@ -82,23 +66,32 @@ int main() {
                          Config{5, 2, 3}}) {
     const double x = core::efficiency_x(c.delta, c.d);
     const double a1 = core::alpha1_poly(x, c.k);
-    std::vector<core::MeasuredRun> runs;
     // k = 3 exponents are small (alpha1 ~ 0.21), so the sweep must reach
     // further before the power law clears the additive wave constants.
     const std::vector<std::int64_t> sizes =
         c.k >= 3
             ? std::vector<std::int64_t>{96000, 288000, 864000, 2592000}
             : std::vector<std::int64_t>{24000, 72000, 216000, 648000};
-    for (std::int64_t n : sizes) {
-      runs.push_back(run_one(c.delta, c.d, c.k, n,
-                             static_cast<std::uint64_t>(n + c.delta)));
+    std::vector<core::BatchJob> jobs;
+    for (const std::int64_t base : sizes) {
+      const std::int64_t n = ctx.scaled(base);
+      core::BatchJob job;
+      job.label = "pi25-n" + std::to_string(n);
+      job.scale = static_cast<double>(n);
+      job.seed = static_cast<std::uint64_t>(n + c.delta);
+      job.run = [c, n](std::uint64_t seed) {
+        return run_one(c.delta, c.d, c.k, n, seed);
+      };
+      jobs.push_back(std::move(job));
     }
+    auto runs = ctx.run_sweep(std::move(jobs));
     char title[160];
     std::snprintf(title, sizeof(title),
                   "Pi2.5 Delta=%d d=%d k=%d (x=%.3f): node-avg ~ "
                   "n^{alpha1}",
                   c.delta, c.d, c.k, x);
-    core::print_experiment(title, runs, "n", a1, a1);
+    ctx.report(title, "n", a1, a1, std::move(runs));
   }
-  return 0;
 }
+
+}  // namespace lcl::bench

@@ -10,29 +10,11 @@
 #include "graph/builders.hpp"
 #include "problems/checkers.hpp"
 #include "problems/labels.hpp"
+#include "scenario.hpp"
 
 namespace {
 
 using namespace lcl;
-
-/// Node-average with the Connect/Decline weight nodes' contribution
-/// removed — exactly the accounting of Theorem 2's proof ("terminate in
-/// O(log n) rounds and can therefore be ignored"); at finite n that
-/// logarithmic floor otherwise swamps small exponents.
-double adjusted_average(const graph::Tree& tree,
-                        const local::RunStats& stats) {
-  std::int64_t total = 0;
-  for (graph::NodeId v = 0; v < tree.size(); ++v) {
-    const bool weight =
-        tree.input(v) == static_cast<int>(graph::WeightInput::kWeight);
-    const bool copy =
-        stats.output[static_cast<std::size_t>(v)].primary ==
-        static_cast<int>(problems::WeightOut::kCopy);
-    if (weight && !copy) continue;
-    total += stats.termination_round[static_cast<std::size_t>(v)];
-  }
-  return static_cast<double>(total) / static_cast<double>(tree.size());
-}
 
 core::MeasuredRun run_one(int delta, int d, int k, std::int64_t lambda,
                           std::int64_t target_n, std::uint64_t seed) {
@@ -58,7 +40,7 @@ core::MeasuredRun run_one(int delta, int d, int k, std::int64_t lambda,
 
   core::MeasuredRun r;
   r.scale = static_cast<double>(lambda);
-  r.node_averaged = adjusted_average(inst.tree, stats);
+  r.node_averaged = core::weight_adjusted_average(inst.tree, stats);
   r.worst_case = stats.worst_case;
   r.n = inst.tree.size();
   r.valid = check.ok;
@@ -68,12 +50,15 @@ core::MeasuredRun run_one(int delta, int d, int k, std::int64_t lambda,
 
 }  // namespace
 
-int main() {
+namespace lcl::bench {
+
+void run_thm4_pi35(ScenarioContext& ctx) {
   std::printf("== E4: Theorems 4/5 — Pi^{3.5}_{Delta,d,k} between "
               "(log* n)^{alpha1(x)} and (log* n)^{alpha1(x')} ==\n\n");
   struct Config {
     int delta, d, k;
   };
+  const std::int64_t target_n = ctx.scaled(30000);
   for (const Config c :
        {Config{6, 3, 2}, Config{7, 4, 2}, Config{9, 5, 2},
         Config{6, 3, 3}}) {
@@ -81,16 +66,24 @@ int main() {
         core::alpha1_logstar(core::efficiency_x(c.delta, c.d), c.k);
     const double hi =
         core::alpha1_logstar(core::efficiency_x_prime(c.delta, c.d), c.k);
-    std::vector<core::MeasuredRun> runs;
-    for (std::int64_t lambda : {64, 192, 576, 1728, 5184}) {
-      runs.push_back(run_one(c.delta, c.d, c.k, lambda, 30000,
-                             static_cast<std::uint64_t>(lambda + c.d)));
+    std::vector<core::BatchJob> jobs;
+    for (const std::int64_t lambda : {64, 192, 576, 1728, 5184}) {
+      core::BatchJob job;
+      job.label = "pi35-L" + std::to_string(lambda);
+      job.scale = static_cast<double>(lambda);
+      job.seed = static_cast<std::uint64_t>(lambda + c.d);
+      job.run = [c, lambda, target_n](std::uint64_t seed) {
+        return run_one(c.delta, c.d, c.k, lambda, target_n, seed);
+      };
+      jobs.push_back(std::move(job));
     }
+    auto runs = ctx.run_sweep(std::move(jobs));
     char title[160];
     std::snprintf(title, sizeof(title),
                   "Pi3.5 Delta=%d d=%d k=%d: node-avg ~ Lambda^c",
                   c.delta, c.d, c.k);
-    core::print_experiment(title, runs, "Lambda", lo, hi);
+    ctx.report(title, "Lambda", lo, hi, std::move(runs));
   }
-  return 0;
 }
+
+}  // namespace lcl::bench

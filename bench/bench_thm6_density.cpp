@@ -1,15 +1,18 @@
 // E6 — Theorem 6 (with Lemma 62): in the log* regime, for any
 // 0 < r1 < r2 < 1 and eps > 0 there are parameters with
 // alpha1(x) in [r1, r2] and alpha1(x') - alpha1(x) < eps — upper and
-// lower bounds squeeze arbitrarily close. The bench prints the chosen
+// lower bounds squeeze arbitrarily close. The scenario prints the chosen
 // parameters for a grid of intervals and shows the gap shrinking as the
 // Lemma-62 scaling constant c grows.
+#include <algorithm>
 #include <cstdio>
 
 #include "core/exponents.hpp"
+#include "scenario.hpp"
 
-int main() {
-  using namespace lcl;
+namespace lcl::bench {
+
+void run_thm6_density(ScenarioContext& ctx) {
   std::printf("== E6: Theorem 6 — density of the log* regime ==\n\n");
 
   std::printf("Chosen parameters per target interval (eps = 0.05):\n");
@@ -18,6 +21,7 @@ int main() {
   struct Interval {
     double r1, r2;
   };
+  double worst_gap = 0.0;
   for (const Interval iv :
        {Interval{0.35, 0.45}, Interval{0.50, 0.60}, Interval{0.60, 0.70},
         Interval{0.70, 0.80}, Interval{0.80, 0.90}}) {
@@ -27,20 +31,26 @@ int main() {
     std::printf("  [%.2f, %.2f]     %8d %8d %4d %12.4f %12.4f %10.4f\n",
                 iv.r1, iv.r2, c.params.delta, c.params.d, c.k, lo, hi,
                 hi - lo);
+    worst_gap = std::max(worst_gap, hi - lo);
   }
+  ctx.metric("worst_interval_gap", worst_gap);
 
   std::printf("\nLemma 62 — the gap |alpha1(x') - alpha1(x)| under "
               "scaling (p/q = 1/2, k = 2):\n");
   std::printf("  %4s %10s %10s %12s %12s %12s\n", "c", "Delta", "d",
               "x'", "x'-x", "exp gap");
+  double final_gap = 0.0;
   for (int c = 1; c <= 8; ++c) {
     const auto g = core::params_for_rational(c, 2 * c);
     const double lo = core::alpha1_logstar(g.x, 2);
     const double hi = core::alpha1_logstar(g.x_prime, 2);
     std::printf("  %4d %10d %10d %12.5f %12.5f %12.5f\n", c, g.delta, g.d,
                 g.x_prime, g.x_prime - g.x, hi - lo);
+    final_gap = hi - lo;
   }
+  ctx.metric("gap_at_c8", final_gap);
   std::printf("\nThe exponent gap decays like 1/Delta — Theorem 6's "
               "squeeze.\n");
-  return 0;
 }
+
+}  // namespace lcl::bench

@@ -4,9 +4,9 @@
 // (Algorithm 1 machinery, Definitions 73/74) + the constant-good check
 // on the induced compress problems (Definitions 77/80, Lemma 81).
 //
-// This bench runs the decision procedure on a zoo of path-form LCLs and
-// prints, for each: solvability, the worst compress-problem class, the
-// constant-good verdict, and the implied node-averaged class per the
+// This scenario runs the decision procedure on a zoo of path-form LCLs
+// and prints, for each: solvability, the worst compress-problem class,
+// the constant-good verdict, and the implied node-averaged class per the
 // Theorem-7 dichotomy. It then cross-checks two verdicts against the
 // simulator: the 3-coloring compress problem really costs ~log* rounds,
 // and the free problem really costs O(1).
@@ -18,12 +18,13 @@
 #include "bw/path_lcl.hpp"
 #include "graph/builders.hpp"
 #include "problems/checkers.hpp"
+#include "scenario.hpp"
 
 namespace {
 
 using namespace lcl;
 
-void report(const bw::PathLcl& lcl) {
+void report_lcl(const bw::PathLcl& lcl) {
   const auto t = bw::testing_procedure(lcl);
   const auto v = bw::decide_constant_good(lcl);
   std::printf("  %-22s %-10s %-14s %-14s %s\n", lcl.name.c_str(),
@@ -37,27 +38,31 @@ void report(const bw::PathLcl& lcl) {
 
 }  // namespace
 
-int main() {
+namespace lcl::bench {
+
+void run_thm7_decidability(ScenarioContext& ctx) {
   std::printf("== E9: Theorem 7 — the omega(1)..(log* n)^{o(1)} gap & "
               "decidability ==\n\n");
   std::printf("  %-22s %-10s %-14s %-14s %s\n", "problem", "status",
               "compress cls", "f_Pi,inf", "node-averaged class");
-  report(bw::make_free_lcl(3));
-  report(bw::make_three_coloring_lcl());
-  report(bw::make_two_coloring_lcl());
-  report(bw::make_unsolvable_lcl());
+  report_lcl(bw::make_free_lcl(3));
+  report_lcl(bw::make_three_coloring_lcl());
+  report_lcl(bw::make_two_coloring_lcl());
+  report_lcl(bw::make_unsolvable_lcl());
 
   std::printf("\nSimulator cross-checks:\n");
+  const auto n = static_cast<graph::NodeId>(ctx.scaled(20000));
   {
-    graph::Tree t = graph::make_path(20000);
+    graph::Tree t = graph::make_path(n);
     graph::assign_ids(t, graph::IdScheme::kShuffled, 3);
     algo::GenericOptions o;
     o.variant = problems::Variant::kThreeHalf;
     o.k = 1;
     const auto stats = algo::run_generic(t, o);
     std::printf("  3-coloring (not constant-good): node-avg %.2f on "
-                "n=20000 — Theta(log*)-sized, not O(1)\n",
-                stats.node_averaged);
+                "n=%d — Theta(log*)-sized, not O(1)\n",
+                stats.node_averaged, n);
+    ctx.metric("three_coloring_node_avg", stats.node_averaged);
   }
   {
     // The free problem solved by everyone outputting label 0 at once.
@@ -66,17 +71,19 @@ int main() {
       void on_init(local::NodeCtx& ctx) override { ctx.terminate(0); }
       void on_round(local::NodeCtx&) override {}
     };
-    graph::Tree t = graph::make_path(20000);
+    graph::Tree t = graph::make_path(n);
     local::Engine e(t);
     Free p;
     const auto stats = e.run(p);
     std::printf("  free LCL (constant-good): node-avg %.2f — O(1) as "
                 "decided\n",
                 stats.node_averaged);
+    ctx.metric("free_lcl_node_avg", stats.node_averaged);
   }
   std::printf(
       "\nDichotomy (Theorem 7): constant-good => O(1) node-averaged;\n"
       "otherwise the compress paths must be split at Theta(log* n) cost\n"
       "and nothing lies in omega(1)..(log* n)^{o(1)}.\n");
-  return 0;
 }
+
+}  // namespace lcl::bench

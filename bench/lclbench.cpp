@@ -1,0 +1,6 @@
+// Unified experiment runner: every paper scenario behind one CLI.
+#include "scenario.hpp"
+
+int main(int argc, char** argv) {
+  return lcl::bench::cli_main(argc, argv, /*forced_scenario=*/"");
+}

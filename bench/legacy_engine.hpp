@@ -1,0 +1,137 @@
+// Frozen pre-arena reference engine, kept ONLY as the baseline for the
+// `engine_micro` scenario so the arena engine's speedup stays measurable
+// (and regressions visible) across PRs. This mirrors the original
+// simulator's storage exactly: per-node `std::vector<Register>` double
+// buffers, a freshly allocated alive list every round, and a per-alive
+// vector copy at the synchronous flip. Do not use outside benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/tree.hpp"
+
+namespace lcl::bench::legacy {
+
+using Register = std::vector<std::int64_t>;
+
+class Engine;
+
+class NodeCtx {
+ public:
+  NodeCtx(Engine& engine, graph::NodeId v) : engine_(engine), v_(v) {}
+
+  [[nodiscard]] graph::NodeId node() const { return v_; }
+  [[nodiscard]] std::int64_t round() const;
+  [[nodiscard]] int degree() const;
+  [[nodiscard]] const Register& peek(int port) const;
+  [[nodiscard]] const Register& peek_self() const;
+  void publish(Register reg);
+  void terminate(int primary);
+
+ private:
+  Engine& engine_;
+  graph::NodeId v_;
+};
+
+class Program {
+ public:
+  virtual ~Program() = default;
+  virtual void on_init(NodeCtx& ctx) = 0;
+  virtual void on_round(NodeCtx& ctx) = 0;
+};
+
+struct RunStats {
+  std::int64_t rounds = 0;
+  std::int64_t total_rounds = 0;  ///< sum_v T_v
+};
+
+class Engine {
+ public:
+  explicit Engine(const graph::Tree& tree) : tree_(tree) {}
+
+  RunStats run(Program& program, std::int64_t max_rounds) {
+    const std::size_t n = static_cast<std::size_t>(tree_.size());
+    round_ = 0;
+    prev_.assign(n, {});
+    next_.assign(n, {});
+    terminated_.assign(n, false);
+    term_round_.assign(n, 0);
+
+    std::vector<graph::NodeId> alive;
+    alive.reserve(n);
+    for (graph::NodeId v = 0; v < tree_.size(); ++v) {
+      NodeCtx ctx(*this, v);
+      program.on_init(ctx);
+      if (!terminated_[static_cast<std::size_t>(v)]) alive.push_back(v);
+    }
+    prev_.swap(next_);
+    next_ = prev_;
+
+    while (!alive.empty()) {
+      ++round_;
+      if (round_ > max_rounds) {
+        throw std::runtime_error("legacy::Engine: round limit exceeded");
+      }
+      std::vector<graph::NodeId> still_alive;
+      still_alive.reserve(alive.size());
+      for (graph::NodeId v : alive) {
+        NodeCtx ctx(*this, v);
+        program.on_round(ctx);
+        if (!terminated_[static_cast<std::size_t>(v)]) {
+          still_alive.push_back(v);
+        }
+      }
+      for (graph::NodeId v : alive) {
+        prev_[static_cast<std::size_t>(v)] =
+            next_[static_cast<std::size_t>(v)];
+      }
+      alive = std::move(still_alive);
+    }
+
+    RunStats stats;
+    stats.rounds = round_;
+    for (const std::int64_t t : term_round_) stats.total_rounds += t;
+    return stats;
+  }
+
+ private:
+  friend class NodeCtx;
+
+  const graph::Tree& tree_;
+  std::int64_t round_ = 0;
+  std::vector<Register> prev_;
+  std::vector<Register> next_;
+  std::vector<bool> terminated_;
+  std::vector<std::int64_t> term_round_;
+};
+
+inline std::int64_t NodeCtx::round() const { return engine_.round_; }
+
+inline int NodeCtx::degree() const { return engine_.tree_.degree(v_); }
+
+inline const Register& NodeCtx::peek(int port) const {
+  const graph::NodeId u =
+      engine_.tree_.neighbors(v_)[static_cast<std::size_t>(port)];
+  return engine_.prev_[static_cast<std::size_t>(u)];
+}
+
+inline const Register& NodeCtx::peek_self() const {
+  return engine_.prev_[static_cast<std::size_t>(v_)];
+}
+
+inline void NodeCtx::publish(Register reg) {
+  engine_.next_[static_cast<std::size_t>(v_)] = std::move(reg);
+}
+
+inline void NodeCtx::terminate(int /*primary*/) {
+  if (engine_.terminated_[static_cast<std::size_t>(v_)]) {
+    throw std::logic_error("legacy::NodeCtx: double termination");
+  }
+  engine_.terminated_[static_cast<std::size_t>(v_)] = true;
+  engine_.term_round_[static_cast<std::size_t>(v_)] = engine_.round_;
+}
+
+}  // namespace lcl::bench::legacy

@@ -1,0 +1,361 @@
+#include "scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+namespace lcl::bench {
+
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+struct ScenarioReport {
+  std::string name;
+  double wall_ms = 0.0;
+  ScenarioResult result;
+};
+
+void write_json(const std::string& path, const ScenarioOptions& opts,
+                const std::vector<ScenarioReport>& reports,
+                double total_wall_ms) {
+  std::ostringstream os;
+  const std::time_t now = std::time(nullptr);
+  char stamp[64];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ",
+                std::gmtime(&now));
+  os << "{\n";
+  os << "  \"schema\": \"lclbench-v1\",\n";
+  os << "  \"timestamp\": \"" << stamp << "\",\n";
+  os << "  \"n_scale\": " << json_number(opts.n_scale) << ",\n";
+  os << "  \"reps\": " << opts.reps << ",\n";
+  os << "  \"threads\": " << opts.threads << ",\n";
+  os << "  \"total_wall_ms\": " << json_number(total_wall_ms) << ",\n";
+  os << "  \"scenarios\": [\n";
+  for (std::size_t si = 0; si < reports.size(); ++si) {
+    const ScenarioReport& rep = reports[si];
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(rep.name) << "\",\n";
+    os << "      \"wall_ms\": " << json_number(rep.wall_ms) << ",\n";
+    os << "      \"metrics\": {";
+    std::size_t mi = 0;
+    for (const auto& [key, value] : rep.result.metrics) {
+      os << (mi++ ? ", " : "") << "\"" << json_escape(key)
+         << "\": " << json_number(value);
+    }
+    os << "},\n";
+    os << "      \"series\": [\n";
+    for (std::size_t i = 0; i < rep.result.series.size(); ++i) {
+      const Series& s = rep.result.series[i];
+      os << "        {\n";
+      os << "          \"title\": \"" << json_escape(s.title) << "\",\n";
+      os << "          \"scale_name\": \"" << json_escape(s.scale_name)
+         << "\",\n";
+      os << "          \"predicted_lo\": " << json_number(s.predicted_lo)
+         << ",\n";
+      os << "          \"predicted_hi\": " << json_number(s.predicted_hi)
+         << ",\n";
+      const auto samples = core::to_samples(s.runs);
+      if (samples.size() >= 2) {
+        const core::PowerFit fit = core::fit_power_law(samples);
+        os << "          \"fitted_exponent\": "
+           << json_number(fit.exponent) << ",\n";
+        os << "          \"r_squared\": " << json_number(fit.r_squared)
+           << ",\n";
+      }
+      os << "          \"runs\": [";
+      for (std::size_t r = 0; r < s.runs.size(); ++r) {
+        const core::MeasuredRun& run = s.runs[r];
+        os << (r ? ", " : "") << "{\"scale\": " << json_number(run.scale)
+           << ", \"n\": " << run.n
+           << ", \"node_averaged\": " << json_number(run.node_averaged)
+           << ", \"worst_case\": " << run.worst_case << ", \"valid\": "
+           << (run.valid ? "true" : "false") << "}";
+      }
+      os << "]\n";
+      os << "        }" << (i + 1 < rep.result.series.size() ? "," : "")
+         << "\n";
+    }
+    os << "      ]\n";
+    os << "    }" << (si + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+
+  std::ofstream f(path);
+  f << os.str();
+  if (!f) {
+    std::fprintf(stderr, "lclbench: failed to write %s\n", path.c_str());
+  } else {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+void print_usage() {
+  std::printf(
+      "lclbench — unified runner for the paper's experiment scenarios\n"
+      "\n"
+      "usage: lclbench [--list] [--run <name|all>] [--n <scale>]\n"
+      "                [--reps <r>] [--threads <t>] [--json [path]]\n"
+      "\n"
+      "  --list          enumerate registered scenarios and exit\n"
+      "  --run <name>    run one scenario, or `all` for the full sweep\n"
+      "  --n <scale>     instance-size multiplier (default 1.0 = paper "
+      "scale)\n"
+      "  --reps <r>      repetitions per measurement point (default 1)\n"
+      "  --threads <t>   sweep worker threads (default: hardware)\n"
+      "  --json [path]   write a BENCH_*.json snapshot (default path\n"
+      "                  BENCH_<run>.json)\n");
+}
+
+}  // namespace
+
+std::int64_t ScenarioContext::scaled(std::int64_t base,
+                                     std::int64_t floor) const {
+  const double scaled = static_cast<double>(base) * opts_.n_scale;
+  return std::max<std::int64_t>(floor,
+                                static_cast<std::int64_t>(std::llround(scaled)));
+}
+
+std::vector<core::MeasuredRun> ScenarioContext::run_sweep(
+    std::vector<core::BatchJob> jobs) {
+  const int reps = std::max(1, opts_.reps);
+  std::vector<core::BatchJob> expanded;
+  expanded.reserve(jobs.size() * static_cast<std::size_t>(reps));
+  for (const core::BatchJob& job : jobs) {
+    for (int r = 0; r < reps; ++r) {
+      core::BatchJob rep = job;
+      // Distinct deterministic seed per repetition; rep 0 keeps the
+      // job's own seed so --reps 1 reproduces the historical sweeps.
+      rep.seed = job.seed + static_cast<std::uint64_t>(r) * 0x9e3779b97f4a7c15ULL;
+      expanded.push_back(std::move(rep));
+    }
+  }
+  const std::vector<core::MeasuredRun> raw = pool_.run_all(expanded);
+  std::vector<core::MeasuredRun> averaged;
+  averaged.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    core::MeasuredRun acc = raw[i * static_cast<std::size_t>(reps)];
+    for (int r = 1; r < reps; ++r) {
+      const core::MeasuredRun& rep =
+          raw[i * static_cast<std::size_t>(reps) + static_cast<std::size_t>(r)];
+      acc.node_averaged += rep.node_averaged;
+      acc.worst_case = std::max(acc.worst_case, rep.worst_case);
+      if (!rep.valid && acc.valid) {
+        acc.valid = false;
+        acc.check_reason = rep.check_reason;
+      }
+    }
+    acc.node_averaged /= reps;
+    averaged.push_back(std::move(acc));
+  }
+  return averaged;
+}
+
+void ScenarioContext::report(const std::string& title,
+                             const std::string& scale_name,
+                             double predicted_lo, double predicted_hi,
+                             std::vector<core::MeasuredRun> runs) {
+  core::print_experiment(title, runs, scale_name, predicted_lo,
+                         predicted_hi);
+  Series s;
+  s.title = title;
+  s.scale_name = scale_name;
+  s.predicted_lo = predicted_lo;
+  s.predicted_hi = predicted_hi;
+  s.runs = std::move(runs);
+  result_.series.push_back(std::move(s));
+}
+
+void ScenarioContext::metric(const std::string& key, double value) {
+  result_.metrics[key] = value;
+}
+
+const std::vector<Scenario>& all_scenarios() {
+  static const std::vector<Scenario> registry = {
+      {"fig2_landscape", "E1: the completed landscape + measured witnesses",
+       run_fig2_landscape},
+      {"thm11_hier35",
+       "E2: Theorem 11 — k-hierarchical 3.5-coloring ~ (log* n)^{1/2^{k-1}}",
+       run_thm11_hier35},
+      {"thm2_pi25",
+       "E3: Theorems 2/3 — Pi^{2.5} node-average Theta(n^{alpha1})",
+       run_thm2_pi25},
+      {"thm4_pi35",
+       "E4: Theorems 4/5 — Pi^{3.5} between (log* n)^{alpha1(x)} and "
+       "(log* n)^{alpha1(x')}",
+       run_thm4_pi35},
+      {"thm1_density", "E5: Theorem 1 — density of the polynomial regime",
+       run_thm1_density},
+      {"thm6_density", "E6: Theorem 6 — density of the log* regime",
+       run_thm6_density},
+      {"lemma69_weightaug",
+       "E7: Lemma 69 — weight-augmented 2.5-coloring Theta(n^{1/k})",
+       run_lemma69_weightaug},
+      {"cor60_gap", "E8: Corollary 60 — the omega(sqrt n)..o(n) gap",
+       run_cor60_gap},
+      {"thm7_decidability",
+       "E9: Theorem 7 — the omega(1)..(log* n)^{o(1)} gap & decidability",
+       run_thm7_decidability},
+      {"lemma72_decomposition",
+       "E10: Lemma 72 — rake & compress decompositions", run_lemma72_decomposition},
+      {"lemma23_dfree", "E11: Lemmas 23/40/52 — weight-gadget efficiency",
+       run_lemma23_dfree},
+      {"linial_logstar",
+       "E12: Linial / Corollary 17 — 3-coloring paths in Theta(log* n)",
+       run_linial_logstar},
+      {"fig2_randomized",
+       "E13: randomized dichotomy — O(1) or n^{Omega(1)}",
+       run_fig2_randomized},
+      {"ablation", "E14: ablations of the design choices", run_ablation},
+      {"engine_micro",
+       "substrate micro-benchmarks: arena engine vs legacy baseline",
+       run_engine_micro},
+  };
+  return registry;
+}
+
+int cli_main(int argc, char** argv, const std::string& forced_scenario) {
+  ScenarioOptions opts;
+  bool list = false;
+  bool want_json = false;
+  std::string json_path;
+  std::string run_name = forced_scenario;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "lclbench: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto parse_double = [&](const char* flag) {
+      const std::string value = next_value(flag);
+      try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "lclbench: %s expects a number, got '%s'\n",
+                     flag, value.c_str());
+        std::exit(2);
+      }
+    };
+    auto parse_int = [&](const char* flag) {
+      return static_cast<int>(parse_double(flag));
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--run") {
+      const std::string name = next_value("--run");
+      if (forced_scenario.empty()) run_name = name;
+    } else if (arg == "--n") {
+      opts.n_scale = parse_double("--n");
+    } else if (arg == "--reps") {
+      opts.reps = parse_int("--reps");
+    } else if (arg == "--threads") {
+      opts.threads = parse_int("--threads");
+    } else if (arg == "--json") {
+      want_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "lclbench: unknown argument %s\n", arg.c_str());
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const Scenario& s : all_scenarios()) {
+      std::printf("  %-22s %s\n", s.name.c_str(), s.summary.c_str());
+    }
+    return 0;
+  }
+  if (run_name.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  std::vector<const Scenario*> to_run;
+  for (const Scenario& s : all_scenarios()) {
+    if (run_name == "all" || run_name == s.name) to_run.push_back(&s);
+  }
+  if (to_run.empty()) {
+    std::fprintf(stderr,
+                 "lclbench: unknown scenario '%s' (try --list)\n",
+                 run_name.c_str());
+    return 2;
+  }
+
+  core::BatchOptions pool_opts;
+  pool_opts.threads = opts.threads;
+  core::BatchRunner pool(pool_opts);
+  opts.threads = pool.threads();
+
+  std::vector<ScenarioReport> reports;
+  const auto total_start = std::chrono::steady_clock::now();
+  for (const Scenario* s : to_run) {
+    ScenarioContext ctx(opts, pool);
+    const auto start = std::chrono::steady_clock::now();
+    s->run(ctx);
+    ScenarioReport rep;
+    rep.name = s->name;
+    rep.wall_ms = wall_ms_since(start);
+    rep.result = std::move(ctx.result());
+    std::printf("[%s: %.0f ms]\n\n", s->name.c_str(), rep.wall_ms);
+    reports.push_back(std::move(rep));
+  }
+  const double total_wall_ms = wall_ms_since(total_start);
+
+  if (want_json) {
+    if (json_path.empty()) json_path = "BENCH_" + run_name + ".json";
+    write_json(json_path, opts, reports, total_wall_ms);
+  }
+  return 0;
+}
+
+}  // namespace lcl::bench

@@ -1,0 +1,123 @@
+// lclbench scenario registry.
+//
+// Every paper experiment (E1..E14 plus the engine micro-benchmark) is a
+// *scenario*: a named function from run options to a structured result.
+// The unified `lclbench` CLI lists and runs scenarios, prints the familiar
+// experiment tables, and can serialize every run into a machine-readable
+// BENCH_*.json snapshot so the perf trajectory is tracked across PRs. The
+// historical one-binary-per-experiment targets are thin shims over this
+// registry (see shim_main.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/experiment.hpp"
+#include "core/fitting.hpp"
+
+namespace lcl::bench {
+
+/// Options shared by all scenarios, set from the CLI.
+struct ScenarioOptions {
+  /// Multiplier applied to every scenario's instance sizes (--n). 1.0 runs
+  /// the paper-scale sweeps; 0.1 is a smoke run.
+  double n_scale = 1.0;
+  /// Repetitions per measurement point with distinct derived seeds (--reps);
+  /// points are averaged over the repetitions.
+  int reps = 1;
+  /// Worker threads for the batched sweeps (--threads; 0 = hardware).
+  int threads = 0;
+};
+
+/// One fitted sweep: (scale, node-averaged) samples plus the paper's
+/// predicted exponent range.
+struct Series {
+  std::string title;
+  std::string scale_name;  ///< "n" or "Lambda"
+  double predicted_lo = 0.0;
+  double predicted_hi = 0.0;
+  std::vector<core::MeasuredRun> runs;
+};
+
+/// Structured outcome of one scenario run.
+struct ScenarioResult {
+  std::vector<Series> series;
+  /// Bespoke scalar metrics (throughputs, speedups, verdict counts, ...).
+  std::map<std::string, double> metrics;
+};
+
+/// Execution context handed to scenario functions: shared thread pool and
+/// helpers that apply the CLI options uniformly.
+class ScenarioContext {
+ public:
+  ScenarioContext(const ScenarioOptions& opts, core::BatchRunner& pool)
+      : opts_(opts), pool_(pool) {}
+
+  [[nodiscard]] const ScenarioOptions& opts() const { return opts_; }
+  [[nodiscard]] core::BatchRunner& pool() { return pool_; }
+
+  /// Scales a base instance size by --n (never below `floor`).
+  [[nodiscard]] std::int64_t scaled(std::int64_t base,
+                                    std::int64_t floor = 2) const;
+
+  /// Runs one sweep through the pool: each point is expanded into
+  /// opts().reps jobs with derived seeds, executed in parallel, and
+  /// averaged back into one MeasuredRun per point (order preserved).
+  /// A point is valid iff all its repetitions were.
+  std::vector<core::MeasuredRun> run_sweep(std::vector<core::BatchJob> jobs);
+
+  /// Prints the classic experiment table and records the series in the
+  /// result (the normal exit path for fitted sweeps).
+  void report(const std::string& title, const std::string& scale_name,
+              double predicted_lo, double predicted_hi,
+              std::vector<core::MeasuredRun> runs);
+
+  /// Records a bespoke scalar metric (also used by the JSON snapshot).
+  void metric(const std::string& key, double value);
+
+  /// Structured result accumulated by report()/metric().
+  [[nodiscard]] ScenarioResult& result() { return result_; }
+
+ private:
+  const ScenarioOptions& opts_;
+  core::BatchRunner& pool_;
+  ScenarioResult result_;
+};
+
+/// A registered scenario. `run` prints its human-readable report as a side
+/// effect (shims behave exactly like the historical per-bench mains) and
+/// accumulates structure in the context.
+struct Scenario {
+  std::string name;
+  std::string summary;
+  void (*run)(ScenarioContext& ctx);
+};
+
+/// The full registry, in landscape order. Names are stable CLI/JSON keys.
+[[nodiscard]] const std::vector<Scenario>& all_scenarios();
+
+/// Unified CLI entry point (used by lclbench's main and the per-scenario
+/// shims). `forced_scenario` non-empty pins --run to that scenario.
+int cli_main(int argc, char** argv, const std::string& forced_scenario);
+
+// Scenario functions, one per paper experiment (defined in bench_*.cpp).
+void run_fig2_landscape(ScenarioContext& ctx);       // E1
+void run_thm11_hier35(ScenarioContext& ctx);         // E2
+void run_thm2_pi25(ScenarioContext& ctx);            // E3
+void run_thm4_pi35(ScenarioContext& ctx);            // E4
+void run_thm1_density(ScenarioContext& ctx);         // E5
+void run_thm6_density(ScenarioContext& ctx);         // E6
+void run_lemma69_weightaug(ScenarioContext& ctx);    // E7
+void run_cor60_gap(ScenarioContext& ctx);            // E8
+void run_thm7_decidability(ScenarioContext& ctx);    // E9
+void run_lemma72_decomposition(ScenarioContext& ctx);  // E10
+void run_lemma23_dfree(ScenarioContext& ctx);        // E11
+void run_linial_logstar(ScenarioContext& ctx);       // E12
+void run_fig2_randomized(ScenarioContext& ctx);      // E13
+void run_ablation(ScenarioContext& ctx);             // E14
+void run_engine_micro(ScenarioContext& ctx);         // substrate micro
+
+}  // namespace lcl::bench

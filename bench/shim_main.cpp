@@ -1,0 +1,12 @@
+// Thin per-scenario shim: `bench_<name>` behaves like the historical
+// standalone experiment binary but routes through the lclbench registry.
+// The scenario name is injected per target by CMake.
+#include "scenario.hpp"
+
+#ifndef LCLBENCH_SCENARIO
+#error "LCLBENCH_SCENARIO must be defined to the registry name"
+#endif
+
+int main(int argc, char** argv) {
+  return lcl::bench::cli_main(argc, argv, LCLBENCH_SCENARIO);
+}

@@ -45,7 +45,7 @@ class NearestLeaf final : public local::Program {
   void on_round(local::NodeCtx& ctx) override {
     std::int64_t best = kUnknown;
     for (int p = 0; p < ctx.degree(); ++p) {
-      const local::Register& reg = ctx.peek(p);
+      const local::RegView reg = ctx.peek(p);
       if (reg.empty() || reg[0] == kUnknown) continue;
       if (best == kUnknown || reg[0] < best) best = reg[0];
     }

@@ -151,7 +151,7 @@ void ApolyProgram::on_round(local::NodeCtx& ctx) {
     }
   } else {
     const int pp = flood_parent_port_[static_cast<std::size_t>(v)];
-    const local::Register& reg = ctx.peek(pp);
+    const local::RegView reg = ctx.peek(pp);
     if (!reg.empty()) label = reg[0];
   }
   if (label >= 0) {

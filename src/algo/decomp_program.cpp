@@ -51,11 +51,11 @@ void DecompositionProgram::on_round(local::NodeCtx& ctx) {
   const int layer = static_cast<int>(iter) + 1;
 
   auto neighbor_alive = [&](int p) {
-    const local::Register& reg = ctx.peek(p);
+    const local::RegView reg = ctx.peek(p);
     return !reg.empty() && reg[0] == 1;
   };
   auto neighbor_snapshot_degree = [&](int p) {
-    const local::Register& reg = ctx.peek(p);
+    const local::RegView reg = ctx.peek(p);
     return reg.size() >= 2 ? reg[1] : kNone;
   };
 
@@ -131,7 +131,7 @@ void DecompositionProgram::on_round(local::NodeCtx& ctx) {
     for (int s = 0; s < 2; ++s) {
       const int p = st.chain_ports[s];
       if (p < 0 || side_dist(s) >= 0) continue;
-      const local::Register& reg = ctx.peek(p);
+      const local::RegView reg = ctx.peek(p);
       if (reg.size() != kRegSize) continue;
       for (int e = 0; e < 2; ++e) {
         const std::size_t base = 2 + 2 * static_cast<std::size_t>(e);
@@ -156,7 +156,7 @@ void DecompositionProgram::on_round(local::NodeCtx& ctx) {
       out[base + 1] = other;
       any = true;
     }
-    if (any) ctx.publish(std::move(out));
+    if (any) ctx.publish(out);
     return;
   }
 

@@ -169,7 +169,7 @@ void GenericHierProgram::wave_round(local::NodeCtx& ctx, int phase) {
   // 1. Receive pending waves.
   for (int s = 0; s < 2; ++s) {
     if (w.port[s] < 0 || w.src[s] >= 0) continue;
-    const local::Register& reg = ctx.peek(w.port[s]);
+    const local::RegView reg = ctx.peek(w.port[s]);
     if (reg.size() != kWaveRegSize) continue;
     for (int e = 0; e < 2; ++e) {
       const std::size_t base = static_cast<std::size_t>(3 * e);
@@ -192,7 +192,7 @@ void GenericHierProgram::wave_round(local::NodeCtx& ctx, int phase) {
     out[base + 2] = w.dist[other];
     publish = true;
   }
-  if (publish) ctx.publish(std::move(out));
+  if (publish) ctx.publish(out);
 
   // 3. Decide.
   if (w.src[0] >= 0 && w.src[1] >= 0) {
@@ -239,7 +239,7 @@ void GenericHierProgram::cv_round(local::NodeCtx& ctx) {
 
   auto neighbor_color = [&](int s) -> std::int64_t {
     if (w.port[s] < 0) return -1;
-    const local::Register& reg = ctx.peek(w.port[s]);
+    const local::RegView reg = ctx.peek(w.port[s]);
     return reg.empty() ? -1 : reg[0];
   };
 

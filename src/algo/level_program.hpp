@@ -37,7 +37,7 @@ class LevelProgram final : public local::Program {
     }
     int unpeeled_neighbors = 0;
     for (int p = 0; p < ctx.degree(); ++p) {
-      const local::Register& reg = ctx.peek(p);
+      const local::RegView reg = ctx.peek(p);
       const bool peeled = !reg.empty() && reg[0] == 1;
       if (!peeled) ++unpeeled_neighbors;
     }

@@ -155,7 +155,7 @@ void Pi35Program::on_round(local::NodeCtx& ctx) {
       }
       // Kept members listen for the flood from their parent.
       const int pp = plan_.flood_parent_port[static_cast<std::size_t>(v)];
-      const local::Register& reg = ctx.peek(pp);
+      const local::RegView reg = ctx.peek(pp);
       if (!reg.empty()) {
         ctx.publish({reg[0]});
         ctx.terminate(static_cast<int>(WeightOut::kCopy),

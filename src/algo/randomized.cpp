@@ -61,7 +61,7 @@ void RandomColoringProgram::on_round(local::NodeCtx& ctx) {
       }
       continue;
     }
-    const local::Register& reg = ctx.peek(p);
+    const local::RegView reg = ctx.peek(p);
     const int theirs = reg.empty() ? -1 : static_cast<int>(reg[0]);
     if (theirs == mine) {
       const graph::NodeId u =

@@ -258,7 +258,7 @@ void WeightAugProgram::on_round(local::NodeCtx& ctx) {
 
     case WKind::kPointsWeight: {
       const int pp = pointee_port_[static_cast<std::size_t>(v)];
-      const local::Register& reg = ctx.peek(pp);
+      const local::RegView reg = ctx.peek(pp);
       if (reg.empty()) return;
       const std::int64_t sec = reg[0];
       ctx.publish({sec});

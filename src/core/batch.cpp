@@ -1,0 +1,112 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace lcl::core {
+
+BatchJob make_job(std::string label, double scale, std::uint64_t seed,
+                  InstanceBuilder build, ProgramFactory make_program,
+                  RunChecker check, std::int64_t max_rounds) {
+  BatchJob job;
+  job.label = std::move(label);
+  job.scale = scale;
+  job.seed = seed;
+  job.run = [scale, build = std::move(build),
+             make_program = std::move(make_program),
+             check = std::move(check), max_rounds](std::uint64_t s) {
+    const graph::Tree tree = build(s);
+    const std::unique_ptr<local::Program> program = make_program(tree);
+    local::Engine engine(tree);
+    const local::RunStats stats = engine.run(*program, max_rounds);
+    const problems::CheckResult verdict = check(tree, stats);
+    MeasuredRun r;
+    r.scale = scale;
+    r.node_averaged = stats.node_averaged;
+    r.worst_case = stats.worst_case;
+    r.n = stats.n;
+    r.valid = verdict.ok;
+    r.check_reason = verdict.reason;
+    return r;
+  };
+  return job;
+}
+
+BatchRunner::BatchRunner(const BatchOptions& opts) {
+  int threads = opts.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BatchRunner::~BatchRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::vector<MeasuredRun> BatchRunner::run_all(
+    const std::vector<BatchJob>& jobs) {
+  std::vector<MeasuredRun> results(jobs.size());
+  if (jobs.empty()) return results;
+  std::unique_lock<std::mutex> lock(mu_);
+  jobs_ = &jobs;
+  results_ = &results;
+  next_job_ = 0;
+  pending_ = jobs.size();
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  jobs_ = nullptr;
+  results_ = nullptr;
+  return results;
+}
+
+void BatchRunner::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return shutdown_ || (jobs_ != nullptr && next_job_ < jobs_->size());
+    });
+    if (shutdown_) return;
+    while (jobs_ != nullptr && next_job_ < jobs_->size()) {
+      const std::size_t i = next_job_++;
+      const BatchJob& job = (*jobs_)[i];
+      std::vector<MeasuredRun>* results = results_;
+      lock.unlock();
+      MeasuredRun r;
+      try {
+        r = job.run(job.seed);
+      } catch (const std::exception& e) {
+        r.scale = job.scale;
+        r.valid = false;
+        r.check_reason = std::string("job threw: ") + e.what();
+      } catch (...) {
+        r.scale = job.scale;
+        r.valid = false;
+        r.check_reason = "job threw a non-std exception";
+      }
+      lock.lock();
+      (*results)[i] = std::move(r);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+std::vector<MeasuredRun> run_batch(const std::vector<BatchJob>& jobs,
+                                   int threads) {
+  BatchOptions opts;
+  opts.threads = threads;
+  BatchRunner runner(opts);
+  return runner.run_all(jobs);
+}
+
+}  // namespace lcl::core

@@ -1,0 +1,102 @@
+// Batched multi-threaded experiment execution.
+//
+// A landscape sweep is a set of independent runs: build an instance, run a
+// `Program` on the `Engine`, verify the output with a checker, record a
+// `MeasuredRun`. Runs share nothing (each job owns its tree and engine), so
+// a sweep is embarrassingly parallel. `BatchRunner` executes a vector of
+// jobs across a persistent `std::thread` pool and aggregates the samples in
+// *job order*: `run_all(jobs)[i]` always corresponds to `jobs[i]`, and every
+// job carries its own deterministic seed, so results are bit-identical for
+// any thread count (including 1).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "graph/tree.hpp"
+#include "local/engine.hpp"
+#include "problems/checkers.hpp"
+
+namespace lcl::core {
+
+/// One unit of work: a closure from a deterministic seed to a verified
+/// measurement. Jobs must be self-contained (no shared mutable state); the
+/// runner may execute them on any thread in any order.
+struct BatchJob {
+  std::string label;
+  double scale = 0.0;  ///< the sweep variable, copied into the result
+  std::uint64_t seed = 0;
+  std::function<MeasuredRun(std::uint64_t seed)> run;
+};
+
+/// Builds the instance for one job. Must not touch shared mutable state.
+using InstanceBuilder = std::function<graph::Tree(std::uint64_t seed)>;
+/// Creates the program that will run on the built instance.
+using ProgramFactory =
+    std::function<std::unique_ptr<local::Program>(const graph::Tree&)>;
+/// Verifies the run's outputs against the instance.
+using RunChecker = std::function<problems::CheckResult(
+    const graph::Tree&, const local::RunStats&)>;
+
+/// Composes the canonical (instance-builder, program-factory, checker)
+/// triple into a `BatchJob`: builds the tree, runs the program to
+/// completion on a fresh `Engine`, checks the outputs, and fills in the
+/// `MeasuredRun` (scale and seed from the job, `valid` from the checker).
+[[nodiscard]] BatchJob make_job(
+    std::string label, double scale, std::uint64_t seed,
+    InstanceBuilder build, ProgramFactory make_program, RunChecker check,
+    std::int64_t max_rounds = std::numeric_limits<int>::max());
+
+struct BatchOptions {
+  /// Worker count; 0 means `std::thread::hardware_concurrency()`.
+  int threads = 0;
+};
+
+/// A persistent thread pool executing batches of jobs. Construction spawns
+/// the workers; they idle between batches and are joined on destruction.
+class BatchRunner {
+ public:
+  explicit BatchRunner(const BatchOptions& opts = {});
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Number of worker threads in the pool.
+  [[nodiscard]] int threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Executes all jobs and returns their measurements in job order. A job
+  /// whose closure throws yields an invalid `MeasuredRun` whose
+  /// `check_reason` carries the exception message (the batch still
+  /// completes). Blocks until every job has finished.
+  std::vector<MeasuredRun> run_all(const std::vector<BatchJob>& jobs);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals workers: batch available
+  std::condition_variable done_cv_;  ///< signals run_all: batch finished
+  const std::vector<BatchJob>* jobs_ = nullptr;  // guarded by mu_
+  std::vector<MeasuredRun>* results_ = nullptr;  // guarded by mu_
+  std::size_t next_job_ = 0;                     // guarded by mu_
+  std::size_t pending_ = 0;                      // guarded by mu_
+  bool shutdown_ = false;                        // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience wrapper: run a full batch on a transient pool.
+[[nodiscard]] std::vector<MeasuredRun> run_batch(
+    const std::vector<BatchJob>& jobs, int threads = 0);
+
+}  // namespace lcl::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "problems/labels.hpp"
+
 namespace lcl::core {
 
 void print_experiment(const std::string& title,
@@ -44,6 +46,21 @@ std::vector<Sample> to_samples(const std::vector<MeasuredRun>& runs) {
     }
   }
   return samples;
+}
+
+double weight_adjusted_average(const graph::Tree& tree,
+                               const local::RunStats& stats) {
+  std::int64_t total = 0;
+  for (graph::NodeId v = 0; v < tree.size(); ++v) {
+    const bool weight =
+        tree.input(v) == static_cast<int>(graph::WeightInput::kWeight);
+    const bool copy =
+        stats.output[static_cast<std::size_t>(v)].primary ==
+        static_cast<int>(problems::WeightOut::kCopy);
+    if (weight && !copy) continue;
+    total += stats.termination_round[static_cast<std::size_t>(v)];
+  }
+  return static_cast<double>(total) / static_cast<double>(tree.size());
 }
 
 std::vector<std::int64_t> lower_bound_lengths(

@@ -34,6 +34,14 @@ void print_experiment(const std::string& title,
 [[nodiscard]] std::vector<Sample> to_samples(
     const std::vector<MeasuredRun>& runs);
 
+/// Node-average with the Connect/Decline weight nodes' contribution
+/// removed — exactly the accounting of Theorem 2's proof ("terminate in
+/// O(log n) rounds and can therefore be ignored"); at finite n that
+/// logarithmic floor otherwise swamps small exponents. Shared by the
+/// Pi^{2.5}/Pi^{3.5} sweeps.
+[[nodiscard]] double weight_adjusted_average(const graph::Tree& tree,
+                                             const local::RunStats& stats);
+
 /// Path lengths ell_1..ell_k for the Definition-18 / Definition-25
 /// constructions: ell_i = base^{alpha_i} for i < k and ell_k chosen so
 /// the product is ~target_n. `alphas` has k-1 entries.

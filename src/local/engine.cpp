@@ -1,104 +1,117 @@
 #include "local/engine.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <string>
 
 namespace lcl::local {
 
-int NodeCtx::degree() const { return engine_.tree_.degree(v_); }
-
-std::int64_t NodeCtx::local_id() const {
-  return engine_.tree_.local_id(v_);
-}
-
-int NodeCtx::input() const { return engine_.tree_.input(v_); }
-
-std::int64_t NodeCtx::n() const { return engine_.tree_.size(); }
-
-std::int64_t NodeCtx::round() const { return engine_.round_; }
-
-const Register& NodeCtx::peek(int port) const {
-  const NodeId u = engine_.tree_.neighbors(v_)[static_cast<std::size_t>(port)];
-  return engine_.prev_[static_cast<std::size_t>(u)];
-}
-
-bool NodeCtx::neighbor_terminated(int port) const {
-  const NodeId u = engine_.tree_.neighbors(v_)[static_cast<std::size_t>(port)];
-  // Terminations become visible one round after they happen (synchronous
-  // semantics): a node terminating in round r is observed from round r+1.
-  return engine_.terminated_[static_cast<std::size_t>(u)] &&
-         engine_.term_round_[static_cast<std::size_t>(u)] < engine_.round_;
-}
-
 Output NodeCtx::neighbor_output(int port) const {
-  const NodeId u = engine_.tree_.neighbors(v_)[static_cast<std::size_t>(port)];
   if (!neighbor_terminated(port)) {
     throw std::logic_error("NodeCtx: neighbor output not yet visible");
   }
-  return engine_.outputs_[static_cast<std::size_t>(u)];
-}
-
-void NodeCtx::publish(Register reg) {
-  engine_.next_[static_cast<std::size_t>(v_)] = std::move(reg);
-}
-
-const Register& NodeCtx::own() const {
-  return engine_.prev_[static_cast<std::size_t>(v_)];
+  return engine_.outputs_[static_cast<std::size_t>(neighbor(port))];
 }
 
 void NodeCtx::terminate(Output out) {
-  if (engine_.terminated_[static_cast<std::size_t>(v_)]) {
+  if (engine_.terminated_[static_cast<std::size_t>(v_)] != 0) {
     throw std::logic_error("NodeCtx: double termination");
   }
-  engine_.terminated_[static_cast<std::size_t>(v_)] = true;
+  engine_.terminated_[static_cast<std::size_t>(v_)] = 1;
   engine_.outputs_[static_cast<std::size_t>(v_)] = out;
   engine_.term_round_[static_cast<std::size_t>(v_)] = engine_.round_;
+}
+
+void Engine::grow(std::int64_t width) {
+  std::int64_t new_cap = cap_;
+  while (new_cap < width) new_cap *= 2;
+  const std::size_t slots = 2 * static_cast<std::size_t>(tree_.size());
+  std::vector<std::int64_t> grown(slots * static_cast<std::size_t>(new_cap),
+                                  0);
+  for (std::size_t s = 0; s < slots; ++s) {
+    std::memcpy(grown.data() + s * static_cast<std::size_t>(new_cap),
+                arena_.data() + s * static_cast<std::size_t>(cap_),
+                static_cast<std::size_t>(len_[s]) * sizeof(std::int64_t));
+  }
+  // Keep the outgoing arena alive until the end of the round: the program
+  // may still hold RegViews into it, and committed slots are immutable for
+  // the rest of the round, so those views stay correct.
+  retired_.push_back(std::move(arena_));
+  arena_ = std::move(grown);
+  cap_ = new_cap;
+}
+
+void Engine::commit_publishes() {
+  // Toggle the owners' parity bits; silent and terminated nodes cost
+  // nothing.
+  for (const NodeId v : published_) {
+    cur_[static_cast<std::size_t>(v)] ^= 1;
+  }
+  published_.clear();
+  retired_.clear();
+}
+
+void Engine::flip_and_compact() {
+  commit_publishes();
+
+  // Compact the alive list in place.
+  std::size_t w = 0;
+  for (const NodeId v : alive_) {
+    if (terminated_[static_cast<std::size_t>(v)] == 0) alive_[w++] = v;
+  }
+  alive_.resize(w);
 }
 
 RunStats Engine::run(Program& program, std::int64_t max_rounds) {
   const std::size_t n = static_cast<std::size_t>(tree_.size());
   round_ = 0;
-  prev_.assign(n, {});
-  next_.assign(n, {});
-  terminated_.assign(n, false);
+
+  // CSR adjacency snapshot.
+  adj_off_.assign(n + 1, 0);
+  for (NodeId v = 0; v < tree_.size(); ++v) {
+    adj_off_[static_cast<std::size_t>(v) + 1] =
+        adj_off_[static_cast<std::size_t>(v)] + tree_.degree(v);
+  }
+  adj_.resize(static_cast<std::size_t>(adj_off_[n]));
+  for (NodeId v = 0; v < tree_.size(); ++v) {
+    std::size_t w =
+        static_cast<std::size_t>(adj_off_[static_cast<std::size_t>(v)]);
+    for (const NodeId u : tree_.neighbors(v)) adj_[w++] = u;
+  }
+
+  cap_ = kInitialCap;
+  arena_.assign(2 * n * static_cast<std::size_t>(cap_), 0);
+  len_.assign(2 * n, 0);
+  cur_.assign(n, 0);
+  retired_.clear();
+  published_.clear();
+  publish_round_.assign(n, -1);
+  terminated_.assign(n, 0);
   outputs_.assign(n, Output{});
   term_round_.assign(n, 0);
 
   // Init phase (round 0): registers published here are visible in round 1.
-  std::vector<NodeId> alive;
-  alive.reserve(n);
+  alive_.clear();
+  alive_.reserve(n);
   for (NodeId v = 0; v < tree_.size(); ++v) {
     NodeCtx ctx(*this, v);
     program.on_init(ctx);
-    // During init, publishes go to next_; fold them into prev_ below.
-    if (!terminated_[static_cast<std::size_t>(v)]) alive.push_back(v);
+    if (terminated_[static_cast<std::size_t>(v)] == 0) alive_.push_back(v);
   }
-  prev_.swap(next_);
-  // After termination, the node's last publish remains frozen: copy any
-  // init-round publish of terminated nodes too (already in prev_ via swap).
-  next_ = prev_;
+  commit_publishes();
 
-  std::int64_t alive_count = static_cast<std::int64_t>(alive.size());
-  while (alive_count > 0) {
+  while (!alive_.empty()) {
     ++round_;
     if (round_ > max_rounds) {
-      throw std::runtime_error(
-          "Engine: round limit exceeded with " +
-          std::to_string(alive_count) + " nodes alive");
+      throw std::runtime_error("Engine: round limit exceeded with " +
+                               std::to_string(alive_.size()) +
+                               " nodes alive");
     }
-    std::vector<NodeId> still_alive;
-    still_alive.reserve(alive.size());
-    for (NodeId v : alive) {
+    for (const NodeId v : alive_) {
       NodeCtx ctx(*this, v);
       program.on_round(ctx);
-      if (!terminated_[static_cast<std::size_t>(v)]) still_alive.push_back(v);
     }
-    // Synchronous flip. Only alive nodes may have written; terminated
-    // nodes' entries in next_ already mirror their frozen registers.
-    for (NodeId v : alive) {
-      prev_[static_cast<std::size_t>(v)] = next_[static_cast<std::size_t>(v)];
-    }
-    alive = std::move(still_alive);
-    alive_count = static_cast<std::int64_t>(alive.size());
+    flip_and_compact();
   }
 
   RunStats stats;
@@ -108,7 +121,7 @@ RunStats Engine::run(Program& program, std::int64_t max_rounds) {
   stats.output = outputs_;
   stats.worst_case = 0;
   stats.total_rounds = 0;
-  for (std::int64_t t : term_round_) {
+  for (const std::int64_t t : term_round_) {
     stats.worst_case = std::max(stats.worst_case, t);
     stats.total_rounds += t;
   }

@@ -13,12 +13,37 @@
 // node-averaged complexity of a run is (1/n) * sum_v T_v, and the
 // worst-case complexity is max_v T_v.
 //
-// Algorithms implement `Program`. The per-round cost of the engine is
-// O(#alive nodes), so the total simulation cost is O(sum_v T_v) — exactly
-// the quantity the paper's theorems bound, which keeps fast instances fast.
+// Storage layout. Registers live in one flat contiguous arena holding two
+// fixed-capacity *slots* per node (a committed slot and a staging slot):
+// slot s of node v occupies the word slice [(2v+s)*cap, (2v+s)*cap+len),
+// where `cap` is a uniform capacity that doubles on demand (a publish wider
+// than `cap` triggers a rare O(n*cap) arena rebuild; steady state never
+// reallocates). A per-node parity bit names the committed slot. Reads
+// (`peek`/`own`) return views of the committed slot; a `publish` writes the
+// staging slot; the synchronous flip at the end of the round just toggles
+// the parity bit of each node that published — no register is ever copied,
+// and a node that stays silent (or has terminated) costs nothing at the
+// flip. Adjacency is snapshotted once per run into a CSR (flat neighbor
+// array + offsets), so a `peek` is two array indexations into contiguous
+// memory instead of a walk through vector-of-vectors.
+//
+// Cost model. The engine keeps a compacted list of alive nodes (compacted
+// in place after each round, so terminated nodes cost nothing — not even a
+// branch) and a per-round list of publishers (so the flip is O(#published),
+// not O(n)). Per round the work is one program callback per alive node
+// plus one O(register width) write per publish. Total simulation cost is
+// therefore O(sum_v T_v) — proportional to exactly the quantity the
+// paper's theorems bound, which keeps fast instances fast. A terminated
+// node's committed slot is simply never touched again, so its final
+// register stays readable for free.
+//
+// Algorithms implement `Program`. Independent runs (one engine per
+// instance) share nothing and can execute concurrently; see
+// `core/batch.hpp` for the thread-pooled sweep runner.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <span>
@@ -32,8 +57,15 @@ namespace lcl::local {
 using graph::NodeId;
 using graph::Tree;
 
-/// A published register: a small vector of words readable by neighbors.
+/// A published register value: a small vector of words. Used to *construct*
+/// register contents; reads return the non-owning `RegView`.
 using Register = std::vector<std::int64_t>;
+
+/// Read-only view of a published register. Views point into the engine's
+/// arena (the owner's committed slot) and stay valid for the duration of
+/// the current round callback; copy the words out to retain them across
+/// rounds.
+using RegView = std::span<const std::int64_t>;
 
 /// Per-node output of an LCL algorithm: a primary label and an optional
 /// secondary label (used by the weighted problems of Definition 22).
@@ -61,7 +93,7 @@ class NodeCtx {
   [[nodiscard]] std::int64_t round() const;
 
   /// Neighbor's register as of the end of the previous round.
-  [[nodiscard]] const Register& peek(int port) const;
+  [[nodiscard]] RegView peek(int port) const;
   /// Whether the neighbor on `port` has terminated. Like registers,
   /// terminations become visible one round after they happen (a node
   /// terminating in round r is observed from round r+1) — synchronous
@@ -71,9 +103,12 @@ class NodeCtx {
   [[nodiscard]] Output neighbor_output(int port) const;
 
   /// Overwrites this node's register (visible to neighbors next round).
-  void publish(Register reg);
+  void publish(RegView reg);
+  void publish(std::initializer_list<std::int64_t> words) {
+    publish(RegView(words.begin(), words.size()));
+  }
   /// Reads this node's own current register (as published).
-  [[nodiscard]] const Register& own() const;
+  [[nodiscard]] RegView own() const;
 
   /// Terminates this node with the given output; `T_v` = current round.
   void terminate(Output out);
@@ -82,6 +117,9 @@ class NodeCtx {
   }
 
  private:
+  /// Resolves a port to the neighbor's dense index via the CSR snapshot.
+  [[nodiscard]] NodeId neighbor(int port) const;
+
   Engine& engine_;
   NodeId v_;
 };
@@ -145,14 +183,117 @@ class Engine {
  private:
   friend class NodeCtx;
 
+  /// Initial uniform register capacity (words); doubles on demand.
+  static constexpr std::int64_t kInitialCap = 8;
+
+  /// Slot id of slot `s` (0/1) of node `v`; the slot's words start at
+  /// slot id * cap_ and its length is len_[slot id].
+  [[nodiscard]] static std::size_t slot_id(NodeId v, int s) {
+    return 2 * static_cast<std::size_t>(v) + static_cast<std::size_t>(s);
+  }
+  /// Grows the arena so a register of `width` words fits. The outgoing
+  /// arena is retired (kept alive until the end of the round), so views
+  /// handed out earlier this round stay valid.
+  void grow(std::int64_t width);
+  /// Commits this round's publishes (parity toggles) and releases any
+  /// retired arenas. Called at the end of init and of every round.
+  void commit_publishes();
+  /// End-of-round synchronous flip: commit publishes, then compact the
+  /// alive list in place.
+  void flip_and_compact();
+
   const Tree& tree_;
   std::int64_t round_ = 0;
-  // Double-buffered registers: reads see prev_, writes go to next_.
-  std::vector<Register> prev_;
-  std::vector<Register> next_;
-  std::vector<bool> terminated_;
+
+  // CSR adjacency snapshot: neighbors of v are adj_[adj_off_[v] + port].
+  std::vector<NodeId> adj_;
+  std::vector<std::int32_t> adj_off_;
+
+  // Flat register arena; see the file header for the layout.
+  std::int64_t cap_ = kInitialCap;
+  std::vector<std::int64_t> arena_;
+  std::vector<std::int32_t> len_;    // len_[2v+s], per slot
+  std::vector<std::uint8_t> cur_;    // committed slot parity per node
+  // Arenas replaced by a mid-round growth, retired until the flip so that
+  // outstanding RegViews keep pointing at live (committed, immutable) data.
+  std::vector<std::vector<std::int64_t>> retired_;
+
+  std::vector<NodeId> alive_;      // compacted in place every round
+  std::vector<NodeId> published_;  // publishers of the current round
+  std::vector<std::int64_t> publish_round_;  // last round v published
+  std::vector<char> terminated_;
   std::vector<Output> outputs_;
   std::vector<std::int64_t> term_round_;
 };
+
+// NodeCtx accessors are on the per-node-per-round hot path; they are
+// defined inline here so simulation loops don't pay a cross-TU call per
+// register read.
+
+inline int NodeCtx::degree() const {
+  return static_cast<int>(
+      engine_.adj_off_[static_cast<std::size_t>(v_) + 1] -
+      engine_.adj_off_[static_cast<std::size_t>(v_)]);
+}
+
+inline std::int64_t NodeCtx::local_id() const {
+  return engine_.tree_.local_id(v_);
+}
+
+inline int NodeCtx::input() const { return engine_.tree_.input(v_); }
+
+inline std::int64_t NodeCtx::n() const { return engine_.tree_.size(); }
+
+inline std::int64_t NodeCtx::round() const { return engine_.round_; }
+
+inline NodeId NodeCtx::neighbor(int port) const {
+  return engine_.adj_[static_cast<std::size_t>(
+                          engine_.adj_off_[static_cast<std::size_t>(v_)]) +
+                      static_cast<std::size_t>(port)];
+}
+
+inline RegView NodeCtx::peek(int port) const {
+  const NodeId u = neighbor(port);
+  const std::size_t slot =
+      Engine::slot_id(u, engine_.cur_[static_cast<std::size_t>(u)]);
+  return {engine_.arena_.data() +
+              slot * static_cast<std::size_t>(engine_.cap_),
+          static_cast<std::size_t>(engine_.len_[slot])};
+}
+
+inline bool NodeCtx::neighbor_terminated(int port) const {
+  const NodeId u = neighbor(port);
+  // Terminations become visible one round after they happen (synchronous
+  // semantics): a node terminating in round r is observed from round r+1.
+  return engine_.terminated_[static_cast<std::size_t>(u)] != 0 &&
+         engine_.term_round_[static_cast<std::size_t>(u)] < engine_.round_;
+}
+
+inline RegView NodeCtx::own() const {
+  const std::size_t slot =
+      Engine::slot_id(v_, engine_.cur_[static_cast<std::size_t>(v_)]);
+  return {engine_.arena_.data() +
+              slot * static_cast<std::size_t>(engine_.cap_),
+          static_cast<std::size_t>(engine_.len_[slot])};
+}
+
+inline void NodeCtx::publish(RegView reg) {
+  const std::int64_t width = static_cast<std::int64_t>(reg.size());
+  if (width > engine_.cap_) engine_.grow(width);
+  const std::size_t slot =
+      Engine::slot_id(v_, engine_.cur_[static_cast<std::size_t>(v_)] ^ 1);
+  if (width != 0) {
+    std::memcpy(engine_.arena_.data() +
+                    slot * static_cast<std::size_t>(engine_.cap_),
+                reg.data(),
+                static_cast<std::size_t>(width) * sizeof(std::int64_t));
+  }
+  engine_.len_[slot] = static_cast<std::int32_t>(width);
+  if (engine_.publish_round_[static_cast<std::size_t>(v_)] !=
+      engine_.round_) {
+    engine_.publish_round_[static_cast<std::size_t>(v_)] = engine_.round_;
+    engine_.published_.push_back(v_);
+  }
+}
 
 }  // namespace lcl::local

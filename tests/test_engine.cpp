@@ -68,7 +68,7 @@ class ForwardProgram final : public Program {
       ctx.terminate(0);
       return;
     }
-    const Register& left = ctx.peek(0);  // port 0 = smaller neighbor
+    const local::RegView left = ctx.peek(0);  // port 0 = smaller neighbor
     if (!left.empty() && left[0] == 1) {
       ctx.publish({1});
       ctx.terminate(static_cast<int>(ctx.round()));
@@ -119,6 +119,159 @@ TEST(Engine, TerminationVisibleNextRound) {
   ASSERT_EQ(seen.size(), 1u);
   EXPECT_EQ(seen[0], 2);  // terminated at round 1, visible at round 2
   EXPECT_EQ(stats.termination_round[1], 2);
+}
+
+/// A terminated node's frozen register must stay readable for arbitrarily
+/// many rounds after termination. This pins the arena semantics: the
+/// end-of-round buffer swap must never resurface a stale slice for a node
+/// that stopped computing (the classic double-buffer bug).
+class FrozenReaderProgram final : public Program {
+ public:
+  void on_init(NodeCtx& ctx) override {
+    if (ctx.node() == 0) {
+      ctx.publish({99});
+      ctx.terminate(0);
+    }
+  }
+  void on_round(NodeCtx& ctx) override {
+    // Node 1 re-reads node 0's frozen register every round and only
+    // terminates late, so the read crosses many buffer swaps.
+    const local::RegView reg = ctx.peek(0);
+    ASSERT_EQ(reg.size(), 1u) << "round " << ctx.round();
+    EXPECT_EQ(reg[0], 99) << "round " << ctx.round();
+    if (ctx.round() == 7) ctx.terminate(1);
+  }
+};
+
+TEST(Engine, FrozenRegisterSurvivesManySwaps) {
+  Tree t = graph::make_path(2);
+  Engine engine(t);
+  FrozenReaderProgram p;
+  const RunStats stats = engine.run(p);
+  EXPECT_EQ(stats.termination_round[0], 0);
+  EXPECT_EQ(stats.termination_round[1], 7);
+}
+
+/// A register wider than the initial arena capacity forces a mid-run
+/// arena growth; values (including frozen ones) must survive the rebuild.
+class WideRegisterProgram final : public Program {
+ public:
+  void on_init(NodeCtx& ctx) override {
+    if (ctx.node() == 0) {
+      ctx.publish({5});  // narrow, frozen before the growth below
+      ctx.terminate(0);
+    }
+  }
+  void on_round(NodeCtx& ctx) override {
+    if (ctx.round() == 1) {
+      Register wide(100);
+      for (std::size_t i = 0; i < wide.size(); ++i) {
+        wide[i] = static_cast<std::int64_t>(i) + ctx.node();
+      }
+      ctx.publish(wide);
+      return;
+    }
+    // After the growth: own register kept all 100 words, and the frozen
+    // narrow register of node 0 is intact.
+    const local::RegView mine = ctx.own();
+    ASSERT_EQ(mine.size(), 100u);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      EXPECT_EQ(mine[i], static_cast<std::int64_t>(i) + ctx.node());
+    }
+    if (ctx.node() == 1) {
+      const local::RegView frozen = ctx.peek(0);
+      ASSERT_EQ(frozen.size(), 1u);
+      EXPECT_EQ(frozen[0], 5);
+    }
+    if (ctx.round() == 4) ctx.terminate(2);
+  }
+};
+
+TEST(Engine, ArenaGrowthPreservesRegisters) {
+  Tree t = graph::make_path(3);
+  Engine engine(t);
+  WideRegisterProgram p;
+  const RunStats stats = engine.run(p);
+  for (NodeId v = 1; v < 3; ++v) {
+    EXPECT_EQ(stats.output[static_cast<std::size_t>(v)].primary, 2);
+  }
+}
+
+/// Without a publish, a node's register persists unchanged round to round.
+class SilentProgram final : public Program {
+ public:
+  void on_init(NodeCtx& ctx) override {
+    ctx.publish({ctx.node() + 10});
+  }
+  void on_round(NodeCtx& ctx) override {
+    const local::RegView mine = ctx.own();
+    ASSERT_EQ(mine.size(), 1u);
+    EXPECT_EQ(mine[0], ctx.node() + 10);
+    const local::RegView theirs = ctx.peek(0);
+    ASSERT_EQ(theirs.size(), 1u);
+    if (ctx.round() == 5) ctx.terminate(0);
+  }
+};
+
+TEST(Engine, UnpublishedRegisterPersists) {
+  Tree t = graph::make_path(4);
+  Engine engine(t);
+  SilentProgram p;
+  const RunStats stats = engine.run(p);
+  EXPECT_EQ(stats.rounds, 5);
+}
+
+/// A publish in the same round as (and after) termination still takes
+/// effect and is the value frozen for later readers.
+class PublishAfterTerminate final : public Program {
+ public:
+  void on_init(NodeCtx&) override {}
+  void on_round(NodeCtx& ctx) override {
+    if (ctx.node() == 0) {
+      ctx.terminate(0);
+      ctx.publish({123});
+      return;
+    }
+    const local::RegView reg = ctx.peek(0);
+    if (!reg.empty()) {
+      EXPECT_EQ(reg[0], 123);
+      EXPECT_EQ(ctx.round(), 2);  // published in round 1, visible round 2
+      ctx.terminate(1);
+    }
+  }
+};
+
+TEST(Engine, PublishAfterTerminateIsFrozen) {
+  Tree t = graph::make_path(2);
+  Engine engine(t);
+  PublishAfterTerminate p;
+  const RunStats stats = engine.run(p);
+  EXPECT_EQ(stats.termination_round[1], 2);
+}
+
+/// Publishing an empty register is legal and clears the visible value.
+class EmptyPublishProgram final : public Program {
+ public:
+  void on_init(NodeCtx& ctx) override { ctx.publish({ctx.node() + 1}); }
+  void on_round(NodeCtx& ctx) override {
+    if (ctx.round() == 1) {
+      const local::RegView theirs = ctx.peek(0);
+      ASSERT_EQ(theirs.size(), 1u);
+      ctx.publish({});
+      return;
+    }
+    EXPECT_TRUE(ctx.peek(0).empty());
+    EXPECT_TRUE(ctx.own().empty());
+    ctx.terminate(0);
+  }
+};
+
+TEST(Engine, EmptyPublishClearsRegister) {
+  Tree t = graph::make_path(2);
+  Engine engine(t);
+  EmptyPublishProgram p;
+  const RunStats stats = engine.run(p);
+  EXPECT_EQ(stats.rounds, 2);
 }
 
 /// The engine throws when a program stalls.

@@ -79,6 +79,24 @@ class LegacyStagger final : public bench::legacy::Program {
   }
 };
 
+// A setup-dominated workload: every node terminates in round 1, so
+// sum_v T_v = n and one "run" is almost entirely per-run engine setup.
+// This is the micro that quantifies snapshot elimination: the arena
+// engine now borrows the Tree's native CSR (zero adjacency work per run)
+// where it previously rebuilt a flat offset+neighbor copy every run.
+
+class ArenaFlash final : public local::Program {
+ public:
+  void on_init(local::NodeCtx&) override {}
+  void on_round(local::NodeCtx& ctx) override { ctx.terminate(0); }
+};
+
+class LegacyFlash final : public bench::legacy::Program {
+ public:
+  void on_init(bench::legacy::NodeCtx&) override {}
+  void on_round(bench::legacy::NodeCtx& ctx) override { ctx.terminate(0); }
+};
+
 // A chatty workload mirroring the real wave programs (generic_hier's
 // 6-word wave registers, decomp_program's per-round republish): every
 // alive node republishes a 6-word register every round and terminates
@@ -204,12 +222,53 @@ void run_engine_micro(ScenarioContext& ctx) {
   ctx.metric("arena_chatter_node_rounds_per_s", arena_chatter);
   ctx.metric("legacy_chatter_node_rounds_per_s", legacy_chatter);
   ctx.metric("chatter_speedup", arena_chatter / legacy_chatter);
-  const double overall = std::cbrt((arena_wave / legacy_wave) *
-                                   (arena_stagger / legacy_stagger) *
-                                   (arena_chatter / legacy_chatter));
+
+  const auto flash_n = static_cast<graph::NodeId>(ctx.scaled(1 << 15));
+  const graph::Tree flash_tree = graph::make_path(flash_n);
+  const double arena_flash = throughput([&] {
+    ArenaFlash p;
+    local::Engine e(flash_tree);
+    return e.run(p).total_rounds;
+  });
+  const double legacy_flash = throughput([&] {
+    LegacyFlash p;
+    legacy::Engine e(flash_tree);
+    return e.run(p, 2).total_rounds;
+  });
+  std::printf("  %-28s %14.2f %14.2f %7.2fx\n",
+              ("flash (setup) n=" + std::to_string(flash_n)).c_str(),
+              arena_flash / 1e6, legacy_flash / 1e6,
+              arena_flash / legacy_flash);
+  ctx.metric("arena_flash_node_rounds_per_s", arena_flash);
+  ctx.metric("legacy_flash_node_rounds_per_s", legacy_flash);
+  ctx.metric("flash_speedup", arena_flash / legacy_flash);
+
+  const double overall = std::pow((arena_wave / legacy_wave) *
+                                      (arena_stagger / legacy_stagger) *
+                                      (arena_chatter / legacy_chatter) *
+                                      (arena_flash / legacy_flash),
+                                  0.25);
   std::printf("  %-28s %14s %14s %7.2fx\n", "geometric mean", "", "",
               overall);
   ctx.metric("overall_speedup", overall);
+
+  // Instance-construction throughput through the per-thread TreeBuilder
+  // arena (CSR emission + validation; no vector-of-vectors adjacency).
+  // Absolute numbers tracked across PRs for the allocation trajectory.
+  const auto build_n = static_cast<graph::NodeId>(ctx.scaled(1 << 14));
+  const double build_path = throughput([&] {
+    const graph::Tree t = graph::make_path(build_n);
+    return static_cast<std::int64_t>(t.size());
+  });
+  const double build_random = throughput([&] {
+    const graph::Tree t = graph::make_random_tree(build_n, 4, 42);
+    return static_cast<std::int64_t>(t.size());
+  });
+  std::printf("\n  instance builds (arena), n=%d: path %.2f Mnodes/s, "
+              "random %.2f Mnodes/s\n",
+              build_n, build_path / 1e6, build_random / 1e6);
+  ctx.metric("build_path_nodes_per_s", build_path);
+  ctx.metric("build_random_nodes_per_s", build_random);
 
   // Batched sweep scaling: independent wave instances through the pool,
   // 1 thread vs the configured worker count.

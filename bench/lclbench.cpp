@@ -1,4 +1,7 @@
 // Unified experiment runner: every paper scenario behind one CLI.
+// Flags (see cli_main in scenario.cpp): --list, --run <name|all>,
+// --n <scale>, --reps <r>, --threads <t>, --seed <s>,
+// --families <csv|all>, --json [path].
 #include "scenario.hpp"
 
 int main(int argc, char** argv) {

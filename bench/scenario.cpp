@@ -8,6 +8,9 @@
 #include <ctime>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+
+#include "graph/families.hpp"
 
 namespace lcl::bench {
 
@@ -63,11 +66,18 @@ void write_json(const std::string& path, const ScenarioOptions& opts,
   std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ",
                 std::gmtime(&now));
   os << "{\n";
-  os << "  \"schema\": \"lclbench-v1\",\n";
+  os << "  \"schema\": \"lclbench-v2\",\n";
   os << "  \"timestamp\": \"" << stamp << "\",\n";
   os << "  \"n_scale\": " << json_number(opts.n_scale) << ",\n";
   os << "  \"reps\": " << opts.reps << ",\n";
   os << "  \"threads\": " << opts.threads << ",\n";
+  os << "  \"seed\": " << opts.seed << ",\n";
+  os << "  \"families\": [";
+  for (std::size_t i = 0; i < opts.families.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(opts.families[i])
+       << "\"";
+  }
+  os << "],\n";
   os << "  \"total_wall_ms\": " << json_number(total_wall_ms) << ",\n";
   os << "  \"scenarios\": [\n";
   for (std::size_t si = 0; si < reports.size(); ++si) {
@@ -107,8 +117,13 @@ void write_json(const std::string& path, const ScenarioOptions& opts,
         os << (r ? ", " : "") << "{\"scale\": " << json_number(run.scale)
            << ", \"n\": " << run.n
            << ", \"node_averaged\": " << json_number(run.node_averaged)
-           << ", \"worst_case\": " << run.worst_case << ", \"valid\": "
-           << (run.valid ? "true" : "false") << "}";
+           << ", \"worst_case\": " << run.worst_case;
+        // Omitted entirely when the job did not measure construction
+        // time, so a reader never mistakes "unrecorded" for "0 ms".
+        if (run.build_ms >= 0.0) {
+          os << ", \"build_ms\": " << json_number(run.build_ms);
+        }
+        os << ", \"valid\": " << (run.valid ? "true" : "false") << "}";
       }
       os << "]\n";
       os << "        }" << (i + 1 < rep.result.series.size() ? "," : "")
@@ -134,7 +149,8 @@ void print_usage() {
       "lclbench — unified runner for the paper's experiment scenarios\n"
       "\n"
       "usage: lclbench [--list] [--run <name|all>] [--n <scale>]\n"
-      "                [--reps <r>] [--threads <t>] [--json [path]]\n"
+      "                [--reps <r>] [--threads <t>] [--seed <s>]\n"
+      "                [--families <csv|all>] [--json [path]]\n"
       "\n"
       "  --list          enumerate registered scenarios and exit\n"
       "  --run <name>    run one scenario, or `all` for the full sweep\n"
@@ -142,8 +158,13 @@ void print_usage() {
       "scale)\n"
       "  --reps <r>      repetitions per measurement point (default 1)\n"
       "  --threads <t>   sweep worker threads (default: hardware)\n"
+      "  --seed <s>      global seed mixed into every job seed (default 0\n"
+      "                  = the historical deterministic sweeps)\n"
+      "  --families <f>  comma-separated instance families for the\n"
+      "                  family-driven scenarios (default/`all` = every\n"
+      "                  tree family in the registry)\n"
       "  --json [path]   write a BENCH_*.json snapshot (default path\n"
-      "                  BENCH_<run>.json)\n");
+      "                  BENCH_<run>.json); records seed + families\n");
 }
 
 }  // namespace
@@ -163,9 +184,12 @@ std::vector<core::MeasuredRun> ScenarioContext::run_sweep(
   for (const core::BatchJob& job : jobs) {
     for (int r = 0; r < reps; ++r) {
       core::BatchJob rep = job;
-      // Distinct deterministic seed per repetition; rep 0 keeps the
-      // job's own seed so --reps 1 reproduces the historical sweeps.
-      rep.seed = job.seed + static_cast<std::uint64_t>(r) * 0x9e3779b97f4a7c15ULL;
+      // Distinct deterministic seed per repetition, with the global
+      // --seed mixed in; rep 0 at --seed 0 keeps the job's own seed so
+      // the historical sweeps are reproduced exactly.
+      rep.seed = job.seed +
+                 static_cast<std::uint64_t>(r) * 0x9e3779b97f4a7c15ULL +
+                 opts_.seed * 0xd1b54a32d192ed03ULL;
       expanded.push_back(std::move(rep));
     }
   }
@@ -178,6 +202,7 @@ std::vector<core::MeasuredRun> ScenarioContext::run_sweep(
       const core::MeasuredRun& rep =
           raw[i * static_cast<std::size_t>(reps) + static_cast<std::size_t>(r)];
       acc.node_averaged += rep.node_averaged;
+      acc.build_ms += rep.build_ms;
       acc.worst_case = std::max(acc.worst_case, rep.worst_case);
       if (!rep.valid && acc.valid) {
         acc.valid = false;
@@ -185,6 +210,7 @@ std::vector<core::MeasuredRun> ScenarioContext::run_sweep(
       }
     }
     acc.node_averaged /= reps;
+    acc.build_ms /= reps;
     averaged.push_back(std::move(acc));
   }
   return averaged;
@@ -249,6 +275,9 @@ const std::vector<Scenario>& all_scenarios() {
       {"engine_micro",
        "substrate micro-benchmarks: arena engine vs legacy baseline",
        run_engine_micro},
+      {"family_sweep",
+       "registry coverage: distributed decomposition across --families",
+       run_family_sweep},
   };
   return registry;
 }
@@ -296,6 +325,35 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
       opts.reps = parse_int("--reps");
     } else if (arg == "--threads") {
       opts.threads = parse_int("--threads");
+    } else if (arg == "--seed") {
+      const std::string value = next_value("--seed");
+      try {
+        // stoull would silently wrap a negative value to 2^64 - |v|.
+        if (value.empty() || value[0] == '-') {
+          throw std::invalid_argument(value);
+        }
+        std::size_t used = 0;
+        opts.seed = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "lclbench: --seed expects an unsigned integer, got "
+                     "'%s'\n",
+                     value.c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--families") {
+      const std::string value = next_value("--families");
+      try {
+        opts.families = graph::parse_family_list(value);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "lclbench: %s (try one of:", e.what());
+        for (const std::string& name : graph::family_names()) {
+          std::fprintf(stderr, " %s", name.c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        std::exit(2);
+      }
     } else if (arg == "--json") {
       want_json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
@@ -329,6 +387,12 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
                  "lclbench: unknown scenario '%s' (try --list)\n",
                  run_name.c_str());
     return 2;
+  }
+
+  // Resolve the family selection once; every consumer (scenarios, JSON
+  // snapshot) reads the same resolved list.
+  if (opts.families.empty()) {
+    opts.families = graph::parse_family_list("all");
   }
 
   core::BatchOptions pool_opts;

@@ -30,6 +30,14 @@ struct ScenarioOptions {
   int reps = 1;
   /// Worker threads for the batched sweeps (--threads; 0 = hardware).
   int threads = 0;
+  /// Global seed (--seed) mixed into every job's derived seed; 0
+  /// reproduces the historical sweeps exactly. Recorded in BENCH_*.json.
+  std::uint64_t seed = 0;
+  /// Instance families swept by family-driven scenarios (--families;
+  /// names from graph/families.hpp). cli_main resolves an empty
+  /// selection to every tree family before scenarios run. Recorded in
+  /// BENCH_*.json.
+  std::vector<std::string> families;
 };
 
 /// One fitted sweep: (scale, node-averaged) samples plus the paper's
@@ -119,5 +127,6 @@ void run_linial_logstar(ScenarioContext& ctx);       // E12
 void run_fig2_randomized(ScenarioContext& ctx);      // E13
 void run_ablation(ScenarioContext& ctx);             // E14
 void run_engine_micro(ScenarioContext& ctx);         // substrate micro
+void run_family_sweep(ScenarioContext& ctx);         // registry coverage
 
 }  // namespace lcl::bench

@@ -65,27 +65,13 @@ WeightAugProgram::WeightAugProgram(const graph::Tree& tree,
   }
 
   // ---- Induced weight subgraph -------------------------------------
-  std::vector<NodeId> to_sub(static_cast<std::size_t>(n),
-                             graph::kInvalidNode);
+  std::vector<char> weight_mask(static_cast<std::size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    weight_mask[static_cast<std::size_t>(v)] = is_active(v) ? 0 : 1;
+  }
   std::vector<NodeId> from_sub;
-  for (NodeId v = 0; v < n; ++v) {
-    if (!is_active(v)) {
-      to_sub[static_cast<std::size_t>(v)] =
-          static_cast<NodeId>(from_sub.size());
-      from_sub.push_back(v);
-    }
-  }
-  graph::Tree sub(static_cast<NodeId>(from_sub.size()));
-  for (NodeId v = 0; v < n; ++v) {
-    if (is_active(v)) continue;
-    for (NodeId u : tree_.neighbors(v)) {
-      if (!is_active(u) && u > v) {
-        sub.add_edge(to_sub[static_cast<std::size_t>(v)],
-                     to_sub[static_cast<std::size_t>(u)]);
-      }
-    }
-  }
-  sub.finalize(0);
+  const graph::Tree sub =
+      graph::induced_subgraph(tree_, weight_mask, &from_sub);
   if (sub.size() == 0) return;
 
   // ---- (gamma, 4, k)-decomposition of the weight subgraph ----------

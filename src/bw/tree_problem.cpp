@@ -87,20 +87,18 @@ bool feasible_choice(const TreeBwProblem& problem, int color,
 }  // namespace
 
 EdgeIndex EdgeIndex::build(const Tree& t) {
+  // Per-node port slots coincide with the Tree's CSR slots, so the id
+  // array reuses the tree's own offsets instead of recomputing them.
+  const auto off = t.offsets();
   EdgeIndex idx;
-  idx.offset.resize(static_cast<std::size_t>(t.size()) + 1, 0);
-  for (NodeId v = 0; v < t.size(); ++v) {
-    idx.offset[static_cast<std::size_t>(v) + 1] =
-        idx.offset[static_cast<std::size_t>(v)] +
-        static_cast<std::size_t>(t.degree(v));
-  }
-  idx.id.assign(idx.offset.back(), -1);
+  idx.id.assign(t.adjacency().size(), -1);
   std::int64_t next = 0;
   for (NodeId v = 0; v < t.size(); ++v) {
     const auto nb = t.neighbors(v);
     for (std::size_t p = 0; p < nb.size(); ++p) {
       if (nb[p] > v) {
-        idx.id[idx.offset[static_cast<std::size_t>(v)] + p] = next++;
+        idx.id[static_cast<std::size_t>(off[static_cast<std::size_t>(v)]) +
+               p] = next++;
       }
     }
   }
@@ -113,8 +111,12 @@ EdgeIndex EdgeIndex::build(const Tree& t) {
         const auto unb = t.neighbors(u);
         for (std::size_t q = 0; q < unb.size(); ++q) {
           if (unb[q] == v) {
-            idx.id[idx.offset[static_cast<std::size_t>(v)] + p] =
-                idx.id[idx.offset[static_cast<std::size_t>(u)] + q];
+            idx.id[static_cast<std::size_t>(
+                       off[static_cast<std::size_t>(v)]) +
+                   p] =
+                idx.id[static_cast<std::size_t>(
+                           off[static_cast<std::size_t>(u)]) +
+                       q];
           }
         }
       }
@@ -125,8 +127,8 @@ EdgeIndex EdgeIndex::build(const Tree& t) {
 }
 
 std::int64_t EdgeIndex::of(const Tree& t, NodeId v, int port) const {
-  (void)t;
-  return id[offset[static_cast<std::size_t>(v)] +
+  return id[static_cast<std::size_t>(
+                t.offsets()[static_cast<std::size_t>(v)]) +
             static_cast<std::size_t>(port)];
 }
 

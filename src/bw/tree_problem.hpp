@@ -56,10 +56,12 @@ struct TreeBwResult {
   std::vector<int> edge_label;  ///< per edge id (see edge_index)
 };
 
-/// Canonical edge indexing: edge {u, v} with u < v gets a dense id.
+/// Canonical edge indexing: edge {u, v} with u < v gets a dense id. The
+/// flat id array is laid out on the Tree's native CSR slots, so `of` is
+/// one lookup through the tree's own offset array — no parallel offset
+/// table is materialized.
 struct EdgeIndex {
-  std::vector<std::int64_t> id;  ///< flat [node][port] -> edge id
-  std::vector<std::size_t> offset;
+  std::vector<std::int64_t> id;  ///< flat [tree CSR slot] -> edge id
   std::int64_t edge_count = 0;
 
   static EdgeIndex build(const Tree& t);

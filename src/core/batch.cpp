@@ -1,8 +1,12 @@
 #include "core/batch.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <stdexcept>
 #include <utility>
+
+#include "graph/families.hpp"
 
 namespace lcl::core {
 
@@ -16,7 +20,12 @@ BatchJob make_job(std::string label, double scale, std::uint64_t seed,
   job.run = [scale, build = std::move(build),
              make_program = std::move(make_program),
              check = std::move(check), max_rounds](std::uint64_t s) {
+    const auto build_start = std::chrono::steady_clock::now();
     const graph::Tree tree = build(s);
+    const double build_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - build_start)
+            .count();
     const std::unique_ptr<local::Program> program = make_program(tree);
     local::Engine engine(tree);
     const local::RunStats stats = engine.run(*program, max_rounds);
@@ -26,11 +35,34 @@ BatchJob make_job(std::string label, double scale, std::uint64_t seed,
     r.node_averaged = stats.node_averaged;
     r.worst_case = stats.worst_case;
     r.n = stats.n;
+    r.build_ms = build_ms;
     r.valid = verdict.ok;
     r.check_reason = verdict.reason;
     return r;
   };
   return job;
+}
+
+BatchJob make_family_job(std::string label, double scale,
+                         std::uint64_t seed, std::string family,
+                         graph::NodeId n, int delta,
+                         ProgramFactory make_program, RunChecker check,
+                         std::int64_t max_rounds) {
+  // Validate the configuration eagerly so misconfigured sweeps fail at
+  // construction, not on a worker thread mid-batch: the name must
+  // resolve, and a tiny dry build exercises the family's own parameter
+  // checks (unsatisfiable delta etc.) through the real code path.
+  if (graph::find_family(family) == nullptr) {
+    throw std::invalid_argument("make_family_job: unknown family '" +
+                                family + "'");
+  }
+  (void)graph::make_family_instance(family, /*n=*/8, /*seed=*/0, delta);
+  InstanceBuilder build = [family = std::move(family), n,
+                           delta](std::uint64_t s) {
+    return graph::make_family_instance(family, n, s, delta);
+  };
+  return make_job(std::move(label), scale, seed, std::move(build),
+                  std::move(make_program), std::move(check), max_rounds);
 }
 
 BatchRunner::BatchRunner(const BatchOptions& opts) {

@@ -8,6 +8,13 @@
 // *job order*: `run_all(jobs)[i]` always corresponds to `jobs[i]`, and every
 // job carries its own deterministic seed, so results are bit-identical for
 // any thread count (including 1).
+//
+// Instance construction inside jobs goes through each worker thread's
+// reusable `graph::TreeBuilder` arena (`graph::tls_build_arena()`): every
+// `graph::make_*` builder and the family registry route through it, so a
+// sweep of thousands of jobs reallocates no adjacency scaffolding after
+// the first build on each worker — only the emitted Trees' exact-size CSR
+// arrays are allocated per run, and the engine itself snapshots nothing.
 #pragma once
 
 #include <condition_variable>
@@ -53,6 +60,16 @@ using RunChecker = std::function<problems::CheckResult(
 [[nodiscard]] BatchJob make_job(
     std::string label, double scale, std::uint64_t seed,
     InstanceBuilder build, ProgramFactory make_program, RunChecker check,
+    std::int64_t max_rounds = std::numeric_limits<int>::max());
+
+/// Like `make_job`, but builds the instance from the named registry
+/// family (graph/families.hpp) at `n` nodes with the job seed, so any
+/// scenario can sweep any solver across any family by name. `delta` == 0
+/// uses the family's default degree bound.
+[[nodiscard]] BatchJob make_family_job(
+    std::string label, double scale, std::uint64_t seed,
+    std::string family, graph::NodeId n, int delta,
+    ProgramFactory make_program, RunChecker check,
     std::int64_t max_rounds = std::numeric_limits<int>::max());
 
 struct BatchOptions {

@@ -19,6 +19,9 @@ struct MeasuredRun {
   double node_averaged = 0.0;
   std::int64_t worst_case = 0;
   std::int64_t n = 0;
+  double build_ms = -1.0;     ///< instance-construction wall time;
+                              ///< < 0 = not recorded (only make_job /
+                              ///< make_family_job-based jobs measure it)
   bool valid = false;         ///< checker verdict
   std::string check_reason;
 };

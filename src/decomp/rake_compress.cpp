@@ -8,11 +8,18 @@ namespace lcl::decomp {
 
 namespace {
 
-/// Working state for the peeling process.
+/// Working state for the peeling process. The per-(sub)step worksets
+/// (`eligible`, `peel`, chain scanning marks) live here and are re-`assign`ed
+/// rather than re-allocated, so one decomposition performs a constant
+/// number of heap allocations regardless of the layer count.
 struct Peeler {
   const Tree& tree;
   std::vector<int> degree;      // remaining degree
   std::vector<char> removed;    // 1 once assigned
+  std::vector<char> eligible;   // rake-substep workset
+  std::vector<char> in_chain;   // compress-step workset
+  std::vector<char> visited;    // compress-step chain scan marks
+  std::vector<NodeId> peel;     // nodes raked this substep
   Decomposition out;
   int step = 0;  // global peeling-time counter
 
@@ -78,7 +85,8 @@ Decomposition rake_compress(const Tree& tree, int gamma, int ell,
     // in the next sub-step.
     for (int j = 1; j <= gamma && remaining > 0; ++j) {
       ++p.step;
-      std::vector<char> eligible(static_cast<std::size_t>(tree.size()), 0);
+      std::vector<char>& eligible = p.eligible;
+      eligible.assign(static_cast<std::size_t>(tree.size()), 0);
       for (NodeId v = 0; v < tree.size(); ++v) {
         if (!p.alive(v) || p.degree[static_cast<std::size_t>(v)] > 1) {
           continue;
@@ -97,7 +105,8 @@ Decomposition rake_compress(const Tree& tree, int gamma, int ell,
         }
         eligible[static_cast<std::size_t>(v)] = 1;
       }
-      std::vector<NodeId> peel;
+      std::vector<NodeId>& peel = p.peel;
+      peel.clear();
       for (NodeId v = 0; v < tree.size(); ++v) {
         if (!eligible[static_cast<std::size_t>(v)]) continue;
         bool deferred = false;
@@ -120,8 +129,10 @@ Decomposition rake_compress(const Tree& tree, int gamma, int ell,
 
     // Compress step: find maximal chains of alive degree-2 nodes.
     ++p.step;
-    std::vector<char> in_chain(static_cast<std::size_t>(tree.size()), 0);
-    std::vector<char> visited(static_cast<std::size_t>(tree.size()), 0);
+    std::vector<char>& in_chain = p.in_chain;
+    std::vector<char>& visited = p.visited;
+    in_chain.assign(static_cast<std::size_t>(tree.size()), 0);
+    visited.assign(static_cast<std::size_t>(tree.size()), 0);
     for (NodeId v = 0; v < tree.size(); ++v) {
       in_chain[static_cast<std::size_t>(v)] =
           (p.alive(v) && !is_pinned(v) &&

@@ -9,33 +9,35 @@
 namespace lcl::graph {
 
 Tree make_path(NodeId n) {
-  Tree t(n);
-  for (NodeId v = 0; v + 1 < n; ++v) t.add_edge(v, v + 1);
-  t.finalize(2);
-  return t;
+  ArenaLease arena(n);
+  TreeBuilder& b = *arena;
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.finalize(2);
 }
 
 Tree make_cycle(NodeId n) {
   if (n < 3) throw std::invalid_argument("make_cycle: n >= 3 required");
-  Tree t(n);
-  for (NodeId v = 0; v + 1 < n; ++v) t.add_edge(v, v + 1);
-  t.add_edge(n - 1, 0);
-  // Do NOT finalize with forest assumptions; cycles are for checker tests.
-  t.finalize(2);
-  return t;
+  ArenaLease arena(n);
+  TreeBuilder& b = *arena;
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  // Cycles are for checker edge-case tests; the explicit non-forest
+  // finalize marks the instance forest_checked() == false.
+  return b.finalize_graph(2);
 }
 
 Tree make_star(NodeId leaves) {
-  Tree t(leaves + 1);
-  for (NodeId v = 1; v <= leaves; ++v) t.add_edge(0, v);
-  t.finalize(0);
-  return t;
+  ArenaLease arena(leaves + 1);
+  TreeBuilder& b = *arena;
+  for (NodeId v = 1; v <= leaves; ++v) b.add_edge(0, v);
+  return b.finalize(0);
 }
 
 Tree make_balanced_weight_tree(NodeId w, int delta) {
   if (w < 1) throw std::invalid_argument("weight tree: w >= 1");
   if (delta < 3) throw std::invalid_argument("weight tree: delta >= 3");
-  Tree t(w);
+  ArenaLease arena(w);
+  TreeBuilder& b = *arena;
   // BFS-order complete (delta-1)-ary tree: children of node v are
   // v*(delta-1)+1 .. v*(delta-1)+(delta-1), truncated at w.
   const std::int64_t fanout = delta - 1;
@@ -43,11 +45,10 @@ Tree make_balanced_weight_tree(NodeId w, int delta) {
     for (std::int64_t c = 1; c <= fanout; ++c) {
       const std::int64_t child = static_cast<std::int64_t>(v) * fanout + c;
       if (child >= w) break;
-      t.add_edge(v, static_cast<NodeId>(child));
+      b.add_edge(v, static_cast<NodeId>(child));
     }
   }
-  t.finalize(delta);
-  return t;
+  return b.finalize(delta);
 }
 
 HierarchicalInstance make_hierarchical_lower_bound(
@@ -61,60 +62,63 @@ HierarchicalInstance make_hierarchical_lower_bound(
   HierarchicalInstance inst;
   inst.k = k;
   inst.path_lengths = ell;
-  Tree& t = inst.tree;
+  ArenaLease arena(0);
+  TreeBuilder& b = *arena;
 
   // Build level-k path first, then recursively attach lower-level paths.
-  // We materialize iteratively: keep the list of nodes of level i+1 and,
-  // for each, attach a fresh path of ell[i-1] nodes by one endpoint.
-  struct Pending {
-    NodeId node;
-    int level;
-  };
+  // We materialize iteratively: keep the list of nodes of the level being
+  // expanded together with each node's count of same-level path
+  // neighbors (0, 1, or 2 — known from its position in its path, so no
+  // adjacency query is needed mid-build).
+  std::vector<NodeId> current;
+  std::vector<int> current_peers;
 
-  std::vector<NodeId> current;  // nodes of the level being expanded
   // Level-k path.
-  for (std::int64_t j = 0; j < ell[static_cast<std::size_t>(k - 1)]; ++j) {
-    const NodeId v = t.add_node();
-    inst.intended_level.push_back(k);
-    if (j > 0) t.add_edge(v - 1, v);
-    current.push_back(v);
+  {
+    const std::int64_t len = ell[static_cast<std::size_t>(k - 1)];
+    for (std::int64_t j = 0; j < len; ++j) {
+      const NodeId v = b.add_node();
+      inst.intended_level.push_back(k);
+      if (j > 0) b.add_edge(v - 1, v);
+      current.push_back(v);
+      current_peers.push_back((j > 0 ? 1 : 0) + (j + 1 < len ? 1 : 0));
+    }
   }
 
   for (int level = k - 1; level >= 1; --level) {
     std::vector<NodeId> next;
+    std::vector<int> next_peers;
     const std::int64_t len = ell[static_cast<std::size_t>(level - 1)];
     auto attach_path = [&](NodeId host) {
       NodeId prev = host;
       for (std::int64_t j = 0; j < len; ++j) {
-        const NodeId v = t.add_node();
+        const NodeId v = b.add_node();
         inst.intended_level.push_back(level);
-        t.add_edge(prev, v);
+        b.add_edge(prev, v);
         prev = v;
         next.push_back(v);
+        next_peers.push_back((j > 0 ? 1 : 0) + (j + 1 < len ? 1 : 0));
       }
     };
     // Each host gets one attached path; hosts with path-degree <= 1 (the
     // endpoints of their level-(level+1) path) get extra attachments so
     // that their degree stays >= 3 until their own peeling round — this
     // is why Figure 3's outermost level-1 paths differ from the rest.
-    for (NodeId host : current) {
-      int host_peers = 0;
-      for (NodeId u : t.neighbors(host)) {
-        if (inst.intended_level[static_cast<std::size_t>(u)] ==
-            inst.intended_level[static_cast<std::size_t>(host)]) {
-          ++host_peers;
-        }
-      }
+    for (std::size_t h = 0; h < current.size(); ++h) {
+      const NodeId host = current[h];
       attach_path(host);
-      for (int extra = host_peers; extra < 2; ++extra) attach_path(host);
+      for (int extra = current_peers[h]; extra < 2; ++extra) {
+        attach_path(host);
+      }
     }
     current = std::move(next);
+    current_peers = std::move(next_peers);
   }
 
   // Degree: interior hosts have 2 path neighbors + 1 attachment = 3;
   // endpoint hosts 1 + 2 = 3 (isolated hosts 0 + 3 = 3); plus the parent
   // attachment edge on lower-level path heads: max degree 4.
-  t.finalize(4);
+  inst.tree = b.finalize(4);
   return inst;
 }
 
@@ -129,14 +133,11 @@ WeightedInstance make_weighted_construction(
   // Skeleton with ell'_i = max(1, ell_i / k^{1/k}).
   std::vector<std::int64_t> ell_prime(ell.size());
   const double shrink = std::pow(static_cast<double>(k), 1.0 / k);
-  std::int64_t skeleton_nodes_per_level_product = 1;
   for (std::size_t i = 0; i < ell.size(); ++i) {
     ell_prime[i] = std::max<std::int64_t>(
         1, static_cast<std::int64_t>(
                std::llround(static_cast<double>(ell[i]) / shrink)));
-    skeleton_nodes_per_level_product *= ell_prime[i];
   }
-  (void)skeleton_nodes_per_level_product;
 
   HierarchicalInstance skel = make_hierarchical_lower_bound(ell_prime);
 
@@ -147,13 +148,16 @@ WeightedInstance make_weighted_construction(
   inst.active_count = skel.tree.size();
   inst.skeleton_lengths = ell_prime;
 
-  // Copy skeleton into a fresh non-finalized tree we can extend.
-  Tree t(skel.tree.size());
+  // Copy the skeleton into the build arena so it can be extended with the
+  // weight trees. (The nested hierarchical build above has finished with
+  // the arena; resetting it here is safe.)
+  ArenaLease arena(skel.tree.size());
+  TreeBuilder& b = *arena;
   for (NodeId v = 0; v < skel.tree.size(); ++v) {
     for (NodeId u : skel.tree.neighbors(v)) {
-      if (u > v) t.add_edge(v, u);
+      if (u > v) b.add_edge(v, u);
     }
-    t.set_input(v, static_cast<int>(WeightInput::kActive));
+    b.set_input(v, static_cast<int>(WeightInput::kActive));
   }
 
   // Total weight budget: (k-1) * n' where n' = skeleton size, spread as
@@ -177,58 +181,120 @@ WeightedInstance make_weighted_construction(
                                                hosts.size()));
     for (NodeId host : hosts) {
       // Attach a balanced weight tree of `per_host` nodes rooted at a
-      // fresh node r adjacent to `host`.
-      const NodeId base = t.size();
+      // fresh node adjacent to `host`.
+      const NodeId base = b.size();
       for (std::int64_t j = 0; j < per_host; ++j) {
-        const NodeId v = t.add_node();
-        t.set_input(v, static_cast<int>(WeightInput::kWeight));
+        const NodeId v = b.add_node();
+        b.set_input(v, static_cast<int>(WeightInput::kWeight));
         inst.intended_level.push_back(0);
         if (j == 0) {
-          t.add_edge(host, v);
+          b.add_edge(host, v);
         } else {
           const NodeId parent =
               base + static_cast<NodeId>((j - 1) / fanout);
-          t.add_edge(parent, v);
+          b.add_edge(parent, v);
         }
       }
     }
   }
 
-  inst.weight_count = t.size() - inst.active_count;
   // Skeleton nodes have degree <= 3 plus one weight-tree root = 4 <= delta;
   // weight-tree internal nodes have <= (delta-1) children + parent = delta.
-  t.finalize(delta);
-  inst.tree = std::move(t);
+  inst.tree = b.finalize(delta);
+  inst.weight_count = inst.tree.size() - inst.active_count;
   return inst;
 }
 
 Tree make_caterpillar(NodeId spine, int legs) {
-  Tree t(spine);
-  for (NodeId v = 0; v + 1 < spine; ++v) t.add_edge(v, v + 1);
+  ArenaLease arena(spine);
+  TreeBuilder& b = *arena;
+  for (NodeId v = 0; v + 1 < spine; ++v) b.add_edge(v, v + 1);
   for (NodeId v = 0; v < spine; ++v) {
     for (int j = 0; j < legs; ++j) {
-      const NodeId leaf = t.add_node();
-      t.add_edge(v, leaf);
+      const NodeId leaf = b.add_node();
+      b.add_edge(v, leaf);
     }
   }
-  t.finalize(legs + 2);
-  return t;
+  return b.finalize(legs + 2);
+}
+
+Tree make_spider(int legs, NodeId leg_len) {
+  if (legs < 1) throw std::invalid_argument("spider: legs >= 1");
+  if (leg_len < 1) throw std::invalid_argument("spider: leg_len >= 1");
+  ArenaLease arena(1);
+  TreeBuilder& b = *arena;
+  for (int l = 0; l < legs; ++l) {
+    NodeId prev = 0;
+    for (NodeId j = 0; j < leg_len; ++j) {
+      const NodeId v = b.add_node();
+      b.add_edge(prev, v);
+      prev = v;
+    }
+  }
+  return b.finalize(std::max(legs, 2));
+}
+
+Tree make_broom(NodeId handle, NodeId bristles) {
+  if (handle < 1) throw std::invalid_argument("broom: handle >= 1");
+  if (bristles < 0) throw std::invalid_argument("broom: bristles >= 0");
+  ArenaLease arena(handle);
+  TreeBuilder& b = *arena;
+  for (NodeId v = 0; v + 1 < handle; ++v) b.add_edge(v, v + 1);
+  for (NodeId j = 0; j < bristles; ++j) {
+    const NodeId leaf = b.add_node();
+    b.add_edge(handle - 1, leaf);
+  }
+  return b.finalize(0);
+}
+
+Tree make_binary_with_pendant_paths(NodeId core, NodeId pendant_total) {
+  if (core < 1) {
+    throw std::invalid_argument("binary_pendant: core >= 1");
+  }
+  if (pendant_total < 0) {
+    throw std::invalid_argument("binary_pendant: pendant_total >= 0");
+  }
+  ArenaLease arena(core);
+  TreeBuilder& b = *arena;
+  // BFS-order complete binary tree on `core` nodes.
+  std::vector<NodeId> leaves;
+  for (NodeId v = 0; v < core; ++v) {
+    const std::int64_t left = 2 * static_cast<std::int64_t>(v) + 1;
+    if (left >= core) leaves.push_back(v);
+    for (std::int64_t c = left; c <= left + 1 && c < core; ++c) {
+      b.add_edge(v, static_cast<NodeId>(c));
+    }
+  }
+  // Balance `pendant_total` path nodes across the binary leaves: the
+  // first (pendant_total % leaves) pendants get one extra node.
+  const std::int64_t nl = static_cast<std::int64_t>(leaves.size());
+  for (std::int64_t i = 0; i < nl; ++i) {
+    std::int64_t len = pendant_total / nl + (i < pendant_total % nl ? 1 : 0);
+    NodeId prev = leaves[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < len; ++j) {
+      const NodeId v = b.add_node();
+      b.add_edge(prev, v);
+      prev = v;
+    }
+  }
+  return b.finalize(3);
 }
 
 Tree make_random_tree(NodeId n, int delta, std::uint64_t seed) {
   if (n < 1) throw std::invalid_argument("random tree: n >= 1");
   if (delta < 2) throw std::invalid_argument("random tree: delta >= 2");
   std::mt19937_64 rng(seed);
-  Tree t(1);
+  ArenaLease arena(1);
+  TreeBuilder& b = *arena;
   std::vector<NodeId> attachable = {0};
   std::vector<int> deg(1, 0);
-  while (t.size() < n) {
+  while (b.size() < n) {
     std::uniform_int_distribution<std::size_t> pick(0, attachable.size() - 1);
     const std::size_t slot = pick(rng);
     const NodeId host = attachable[slot];
-    const NodeId v = t.add_node();
+    const NodeId v = b.add_node();
     deg.push_back(1);
-    t.add_edge(host, v);
+    b.add_edge(host, v);
     deg[static_cast<std::size_t>(host)]++;
     if (deg[static_cast<std::size_t>(host)] >= delta) {
       attachable[slot] = attachable.back();
@@ -236,8 +302,106 @@ Tree make_random_tree(NodeId n, int delta, std::uint64_t seed) {
     }
     if (delta > 1) attachable.push_back(v);
   }
-  t.finalize(delta);
-  return t;
+  return b.finalize(delta);
+}
+
+Tree make_galton_watson_tree(NodeId n, int delta, std::uint64_t seed) {
+  if (n < 1) throw std::invalid_argument("galton-watson: n >= 1");
+  if (delta < 2) throw std::invalid_argument("galton-watson: delta >= 2");
+  std::mt19937_64 rng(seed);
+  ArenaLease arena(1);
+  TreeBuilder& b = *arena;
+  // Offspring distribution: uniform over [0, delta-1] children. Mean
+  // (delta-1)/2 makes large components likely, but extinction still
+  // happens; restarts keep the instance connected.
+  std::vector<int> deg(1, 0);
+  std::vector<NodeId> frontier = {0};
+  std::vector<NodeId> spare = {0};  // nodes with degree < delta
+  while (b.size() < n) {
+    if (frontier.empty()) {
+      // Extinct: regrow from a random node with spare capacity.
+      while (true) {
+        std::uniform_int_distribution<std::size_t> pick(0, spare.size() - 1);
+        const std::size_t slot = pick(rng);
+        const NodeId host = spare[slot];
+        if (deg[static_cast<std::size_t>(host)] < delta) {
+          frontier.push_back(host);
+          break;
+        }
+        spare[slot] = spare.back();
+        spare.pop_back();
+      }
+    }
+    std::vector<NodeId> next_frontier;
+    for (const NodeId v : frontier) {
+      if (b.size() >= n) break;
+      const int cap = delta - deg[static_cast<std::size_t>(v)];
+      if (cap <= 0) continue;
+      std::uniform_int_distribution<int> offspring(0, delta - 1);
+      int children = std::min(offspring(rng), cap);
+      children = static_cast<int>(
+          std::min<std::int64_t>(children, n - b.size()));
+      for (int c = 0; c < children; ++c) {
+        const NodeId w = b.add_node();
+        deg.push_back(1);
+        b.add_edge(v, w);
+        deg[static_cast<std::size_t>(v)]++;
+        next_frontier.push_back(w);
+        spare.push_back(w);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return b.finalize(delta);
+}
+
+Tree make_prufer_tree(NodeId n, int delta, std::uint64_t seed) {
+  if (n < 1) throw std::invalid_argument("prufer: n >= 1");
+  if (delta != 0 && delta < 2) {
+    throw std::invalid_argument("prufer: delta == 0 or delta >= 2");
+  }
+  ArenaLease arena(n);
+  TreeBuilder& b = *arena;
+  if (n == 1) return b.finalize(delta);
+  if (n == 2) {
+    b.add_edge(0, 1);
+    return b.finalize(delta);
+  }
+  std::mt19937_64 rng(seed);
+  // Draw the Prüfer sequence; with a degree cap, resample any label that
+  // would exceed delta-1 occurrences (degree = occurrences + 1).
+  const std::int64_t len = static_cast<std::int64_t>(n) - 2;
+  std::vector<NodeId> seq(static_cast<std::size_t>(len));
+  std::vector<int> count(static_cast<std::size_t>(n), 0);
+  std::uniform_int_distribution<NodeId> label(0, n - 1);
+  for (std::int64_t i = 0; i < len; ++i) {
+    NodeId a = label(rng);
+    if (delta > 0) {
+      while (count[static_cast<std::size_t>(a)] >= delta - 1) {
+        a = label(rng);
+      }
+    }
+    seq[static_cast<std::size_t>(i)] = a;
+    ++count[static_cast<std::size_t>(a)];
+  }
+  // Linear Prüfer decoding with the moving-pointer leaf scan.
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (const NodeId a : seq) ++deg[static_cast<std::size_t>(a)];
+  NodeId ptr = 0;
+  while (deg[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+  NodeId leaf = ptr;
+  for (const NodeId a : seq) {
+    b.add_edge(leaf, a);
+    if (--deg[static_cast<std::size_t>(a)] == 1 && a < ptr) {
+      leaf = a;
+    } else {
+      ++ptr;
+      while (deg[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  b.add_edge(leaf, n - 1);
+  return b.finalize(delta);
 }
 
 void assign_ids(Tree& t, IdScheme scheme, std::uint64_t seed_or_offset) {

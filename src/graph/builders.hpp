@@ -1,11 +1,19 @@
 // Instance builders: every graph family used by the paper's upper- and
-// lower-bound arguments.
+// lower-bound arguments, plus the generic tree shapes swept by the
+// instance-family registry (families.hpp).
 //
 //  * paths and caterpillars (baselines, Feuilloley-style path results);
 //  * balanced Delta-regular weight trees (Lemma 23);
 //  * the k-hierarchical lower-bound graph of Definition 18 (Figure 3);
 //  * the weighted construction of Definition 25 (Figure 4);
-//  * uniformly random bounded-degree trees (sanity / average-case probes).
+//  * spiders, brooms, and binary-with-pendant-path hybrids (mixed
+//    rake/compress workloads);
+//  * random trees: degree-capped attachment, Galton-Watson branching,
+//    and degree-capped Prüfer-sequence labeled trees.
+//
+// All builders construct through the calling thread's reusable
+// `TreeBuilder` arena (tls_build_arena), so sweeps that build thousands
+// of instances do not reallocate adjacency scaffolding per run.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +33,8 @@ enum class WeightInput : int {
 [[nodiscard]] Tree make_path(NodeId n);
 
 /// A cycle is never a tree; provided for checker edge-case tests only.
+/// Built with `TreeBuilder::finalize_graph`, so the result carries the
+/// explicit `forest_checked() == false` flag.
 [[nodiscard]] Tree make_cycle(NodeId n);
 
 /// A star with `leaves` leaves (center = node 0).
@@ -81,9 +91,39 @@ struct WeightedInstance {
 /// leaves per spine node. Useful as a mixed rake/compress workload.
 [[nodiscard]] Tree make_caterpillar(NodeId spine, int legs);
 
+/// A spider: `legs` paths of `leg_len` nodes each, all attached to a
+/// common center (node 0). Degree of the center is `legs`.
+[[nodiscard]] Tree make_spider(int legs, NodeId leg_len);
+
+/// A broom: a handle path of `handle` nodes (0..handle-1) whose far end
+/// carries `bristles` pendant leaves. Compress-then-rake in one shape.
+[[nodiscard]] Tree make_broom(NodeId handle, NodeId bristles);
+
+/// A complete binary tree on `core` nodes (BFS order, root 0) whose
+/// leaves each carry a pendant path; pendant lengths are balanced so the
+/// instance has exactly `core + pendant_total` nodes. High-diameter
+/// low-degree hybrid of the Figure-3 shape.
+[[nodiscard]] Tree make_binary_with_pendant_paths(NodeId core,
+                                                  NodeId pendant_total);
+
 /// A uniformly random tree with max degree <= delta, built by a
 /// degree-capped random attachment process (deterministic given `seed`).
 [[nodiscard]] Tree make_random_tree(NodeId n, int delta, std::uint64_t seed);
+
+/// A Galton-Watson branching tree capped at degree `delta`, grown in BFS
+/// order with uniform offspring counts in [0, delta-1]; when the process
+/// goes extinct before `n` nodes, growth restarts from a uniformly random
+/// node with spare degree, so the result is always a connected tree on
+/// exactly `n` nodes. Deterministic given `seed`.
+[[nodiscard]] Tree make_galton_watson_tree(NodeId n, int delta,
+                                           std::uint64_t seed);
+
+/// A random labeled tree decoded from a Prüfer sequence. With
+/// `delta == 0` the sequence is uniform (a uniformly random labeled
+/// tree); otherwise each label is resampled while it would exceed
+/// delta-1 occurrences, capping every degree at `delta`. Deterministic
+/// given `seed`. Requires delta == 0 or delta >= 2.
+[[nodiscard]] Tree make_prufer_tree(NodeId n, int delta, std::uint64_t seed);
 
 /// ID assignment strategies. All preserve distinctness.
 enum class IdScheme {

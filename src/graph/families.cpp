@@ -1,0 +1,200 @@
+#include "graph/families.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builders.hpp"
+
+namespace lcl::graph {
+
+namespace {
+
+NodeId at_least(NodeId n, NodeId floor) { return std::max(n, floor); }
+
+/// Shape-determined families (default_delta == 0) take no degree
+/// parameter; an explicit delta would be silently unhonorable (a star's
+/// center has degree n-1 regardless), so it is an error, not a default.
+void reject_delta(const char* family, const FamilyParams& p) {
+  if (p.delta != 0) {
+    throw std::invalid_argument(std::string(family) +
+                                ": family has no degree parameter");
+  }
+}
+
+// Family lambdas receive `p.delta` already resolved against the family's
+// default by make_family_instance/all-callers — no fallback constants
+// here, so default_delta is the single source of truth. Unsatisfiable
+// explicit deltas throw (from the underlying builder or here), never
+// get silently substituted.
+
+std::vector<Family> build_registry() {
+  std::vector<Family> reg;
+
+  reg.push_back({"path", "a path on n nodes", 0, true, false,
+                 [](const FamilyParams& p) {
+                   reject_delta("path", p);
+                   return make_path(at_least(p.n, 1));
+                 }});
+
+  reg.push_back({"cycle",
+                 "a cycle on n nodes (NOT a tree; checker edge cases)", 0,
+                 false, false, [](const FamilyParams& p) {
+                   reject_delta("cycle", p);
+                   return make_cycle(at_least(p.n, 3));
+                 }});
+
+  reg.push_back({"star", "one center with n-1 leaves", 0, true, false,
+                 [](const FamilyParams& p) {
+                   reject_delta("star", p);
+                   return make_star(at_least(p.n, 1) - 1);
+                 }});
+
+  reg.push_back({"caterpillar",
+                 "spine path with delta-2 pendant leaves per spine node",
+                 5, true, false, [](const FamilyParams& p) {
+                   if (p.delta < 3) {
+                     throw std::invalid_argument(
+                         "caterpillar: delta >= 3 required");
+                   }
+                   const int legs = p.delta - 2;
+                   const NodeId spine = at_least(
+                       static_cast<NodeId>(p.n / (legs + 1)), 1);
+                   return make_caterpillar(spine, legs);
+                 }});
+
+  reg.push_back({"dary",
+                 "complete balanced (delta-1)-ary tree, BFS-truncated at n",
+                 5, true, false, [](const FamilyParams& p) {
+                   return make_balanced_weight_tree(at_least(p.n, 1),
+                                                    p.delta);
+                 }});
+
+  reg.push_back({"spider",
+                 "delta legs of equal length joined at one center", 6,
+                 true, false, [](const FamilyParams& p) {
+                   // Leg interiors have degree 2, so delta < 2 cannot be
+                   // honored by any spider (legs >= 1 implies a leg).
+                   if (p.delta < 2) {
+                     throw std::invalid_argument(
+                         "spider: delta >= 2 required");
+                   }
+                   const int legs = p.delta;
+                   const NodeId leg_len = at_least(
+                       static_cast<NodeId>((p.n - 1) / legs), 1);
+                   return make_spider(legs, leg_len);
+                 }});
+
+  reg.push_back({"broom",
+                 "a handle path ending in a fan of n/2 leaves", 0, true,
+                 false, [](const FamilyParams& p) {
+                   reject_delta("broom", p);
+                   const NodeId handle = at_least(p.n / 2, 1);
+                   const NodeId bristles =
+                       std::max<NodeId>(at_least(p.n, 1) - handle, 0);
+                   return make_broom(handle, bristles);
+                 }});
+
+  reg.push_back({"binary_pendant",
+                 "complete binary core with balanced pendant paths", 3,
+                 true, false, [](const FamilyParams& p) {
+                   // The shape is inherently degree-3; any looser cap is
+                   // honored trivially, a tighter one cannot be.
+                   if (p.delta < 3) {
+                     throw std::invalid_argument(
+                         "binary_pendant: delta >= 3 required");
+                   }
+                   const NodeId core = at_least(p.n / 2, 1);
+                   const NodeId pendant =
+                       std::max<NodeId>(at_least(p.n, 1) - core, 0);
+                   return make_binary_with_pendant_paths(core, pendant);
+                 }});
+
+  reg.push_back({"galton_watson",
+                 "degree-capped Galton-Watson branching tree", 4, true,
+                 true, [](const FamilyParams& p) {
+                   return make_galton_watson_tree(at_least(p.n, 1),
+                                                  p.delta, p.seed);
+                 }});
+
+  reg.push_back({"prufer",
+                 "random labeled tree via degree-capped Prufer sequence",
+                 8, true, true, [](const FamilyParams& p) {
+                   return make_prufer_tree(at_least(p.n, 1), p.delta,
+                                           p.seed);
+                 }});
+
+  reg.push_back({"random_attach",
+                 "uniform random attachment tree, degree-capped", 4, true,
+                 true, [](const FamilyParams& p) {
+                   return make_random_tree(at_least(p.n, 1), p.delta,
+                                           p.seed);
+                 }});
+
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<Family>& all_families() {
+  static const std::vector<Family> registry = build_registry();
+  return registry;
+}
+
+const Family* find_family(const std::string& name) {
+  for (const Family& f : all_families()) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Tree make_family_instance(const std::string& name, NodeId n,
+                          std::uint64_t seed, int delta) {
+  const Family* f = find_family(name);
+  if (f == nullptr) {
+    throw std::invalid_argument("unknown instance family '" + name + "'");
+  }
+  FamilyParams p;
+  p.n = n;
+  p.seed = seed;
+  // Resolve the degree bound once, centrally: 0 picks the family default
+  // (itself 0 for shape-determined families, which reject explicit
+  // values); an explicit bound the family cannot honor throws.
+  p.delta = delta != 0 ? delta : f->default_delta;
+  return f->build(p);
+}
+
+std::vector<std::string> family_names() {
+  std::vector<std::string> names;
+  names.reserve(all_families().size());
+  for (const Family& f : all_families()) names.push_back(f.name);
+  return names;
+}
+
+std::vector<std::string> parse_family_list(const std::string& csv) {
+  std::vector<std::string> out;
+  if (csv.empty() || csv == "all") {
+    for (const Family& f : all_families()) {
+      if (f.is_tree) out.push_back(f.name);
+    }
+    return out;
+  }
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string name =
+        csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                   : comma - pos);
+    if (!name.empty()) {
+      if (find_family(name) == nullptr) {
+        throw std::invalid_argument("unknown instance family '" + name +
+                                    "'");
+      }
+      out.push_back(name);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace lcl::graph

@@ -1,0 +1,65 @@
+// Instance-family registry: named, parameterized tree generators.
+//
+// Every scenario and test can sweep any solver across any family by name
+// instead of hand-wiring instance builders: `make_family_instance("spider",
+// n, seed)` builds through the same reusable per-thread arena as the
+// `make_*` builders. The registry is the single source of truth for the
+// shapes the landscape experiments exercise — lclbench's `--families`
+// flag selects from it, and BENCH_*.json records the selection so
+// snapshots are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/tree.hpp"
+
+namespace lcl::graph {
+
+/// Parameters for one family instantiation.
+struct FamilyParams {
+  NodeId n = 0;            ///< target node count (hit exactly, or within
+                           ///< the family's rounding to its shape grid)
+  int delta = 0;           ///< degree bound. `Family::build` expects the
+                           ///< *resolved* value (family default already
+                           ///< applied — use make_family_instance);
+                           ///< unsatisfiable explicit bounds throw.
+  std::uint64_t seed = 0;  ///< consumed by randomized families only
+};
+
+/// A registered instance family.
+struct Family {
+  std::string name;     ///< stable CLI/JSON key
+  std::string summary;  ///< one-line description
+  int default_delta = 0;  ///< degree bound applied when params.delta == 0
+                          ///< (0 = shape-determined, no cap parameter)
+  bool is_tree = true;    ///< false for checker edge-case graphs (cycle)
+  bool randomized = false;  ///< true iff the seed changes the instance
+  std::function<Tree(const FamilyParams&)> build;
+};
+
+/// The full registry, in stable order. Names are stable CLI/JSON keys.
+[[nodiscard]] const std::vector<Family>& all_families();
+
+/// Looks up a family by name; nullptr if unknown.
+[[nodiscard]] const Family* find_family(const std::string& name);
+
+/// Builds an instance of the named family. Throws std::invalid_argument
+/// on an unknown name.
+[[nodiscard]] Tree make_family_instance(const std::string& name, NodeId n,
+                                        std::uint64_t seed = 0,
+                                        int delta = 0);
+
+/// All registered family names, in registry order.
+[[nodiscard]] std::vector<std::string> family_names();
+
+/// Parses a comma-separated family selection. "all" (or an empty string)
+/// yields every *tree* family (cycle and other non-tree edge-case
+/// families must be named explicitly). Throws std::invalid_argument on
+/// an unknown name.
+[[nodiscard]] std::vector<std::string> parse_family_list(
+    const std::string& csv);
+
+}  // namespace lcl::graph

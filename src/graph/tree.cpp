@@ -6,6 +6,162 @@
 
 namespace lcl::graph {
 
+namespace {
+
+/// Union-find root with path halving; `parent` is the builder's reused
+/// scratch.
+NodeId dsu_find(std::vector<NodeId>& parent, NodeId v) {
+  while (parent[static_cast<std::size_t>(v)] != v) {
+    parent[static_cast<std::size_t>(v)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+    v = parent[static_cast<std::size_t>(v)];
+  }
+  return v;
+}
+
+}  // namespace
+
+Tree TreeBuilder::build(int max_degree, bool forest_flag, bool verify) {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  const std::size_t m = edge_u_.size();
+
+  Tree t;
+  t.forest_checked_ = forest_flag;
+
+  // Degree counts -> exclusive prefix sum. The Tree's own arrays are
+  // exact-size fresh allocations (the Tree owns them); everything else
+  // below is reused builder scratch.
+  t.offsets_.assign(n + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    ++t.offsets_[static_cast<std::size_t>(edge_u_[e]) + 1];
+    ++t.offsets_[static_cast<std::size_t>(edge_v_[e]) + 1];
+  }
+  int dmax = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int32_t deg = t.offsets_[v + 1];
+    dmax = std::max(dmax, static_cast<int>(deg));
+    if (max_degree > 0 && deg > max_degree) {
+      throw std::logic_error("TreeBuilder: node " + std::to_string(v) +
+                             " exceeds max degree " +
+                             std::to_string(max_degree));
+    }
+    t.offsets_[v + 1] += t.offsets_[v];
+  }
+  t.max_degree_ = dmax;
+
+  // Fill the flat neighbor array in edge-insertion order, so each node's
+  // port numbering is the order in which its edges were added — the same
+  // stable order the historical vector-of-vectors adjacency produced.
+  t.neighbors_.resize(2 * m);
+  fill_.assign(t.offsets_.begin(), t.offsets_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    const NodeId u = edge_u_[e];
+    const NodeId v = edge_v_[e];
+    t.neighbors_[static_cast<std::size_t>(
+        fill_[static_cast<std::size_t>(u)]++)] = v;
+    t.neighbors_[static_cast<std::size_t>(
+        fill_[static_cast<std::size_t>(v)]++)] = u;
+  }
+
+  // Duplicate-edge detection with a stamp array: while scanning v's
+  // neighbor list, stamp_[u] == v marks "u already seen from v".
+  if (verify) {
+    stamp_.assign(n, kInvalidNode);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::int32_t i = t.offsets_[v]; i < t.offsets_[v + 1]; ++i) {
+        const NodeId u = t.neighbors_[static_cast<std::size_t>(i)];
+        if (stamp_[static_cast<std::size_t>(u)] ==
+            static_cast<NodeId>(v)) {
+          throw std::logic_error("TreeBuilder: duplicate edge " +
+                                 std::to_string(v) + "-" +
+                                 std::to_string(u));
+        }
+        stamp_[static_cast<std::size_t>(u)] = static_cast<NodeId>(v);
+      }
+    }
+  }
+
+  // Acyclicity via union-find: an edge inside one component is a cycle.
+  if (verify && forest_flag) {
+    dsu_.resize(n);
+    for (std::size_t v = 0; v < n; ++v) dsu_[v] = static_cast<NodeId>(v);
+    for (std::size_t e = 0; e < m; ++e) {
+      const NodeId ru = dsu_find(dsu_, edge_u_[e]);
+      const NodeId rv = dsu_find(dsu_, edge_v_[e]);
+      if (ru == rv) {
+        throw std::logic_error(
+            "TreeBuilder: cycle through edge " +
+            std::to_string(edge_u_[e]) + "-" + std::to_string(edge_v_[e]) +
+            " (use finalize_graph for non-forest instances)");
+      }
+      dsu_[static_cast<std::size_t>(ru)] = rv;
+    }
+  }
+
+  t.ids_ = ids_;
+  t.inputs_ = inputs_;
+  return t;
+}
+
+TreeBuilder& tls_build_arena() {
+  thread_local TreeBuilder arena;
+  return arena;
+}
+
+namespace {
+thread_local bool tls_arena_leased = false;
+}  // namespace
+
+ArenaLease::ArenaLease(NodeId n) : b_(tls_build_arena()) {
+  if (tls_arena_leased) {
+    throw std::logic_error(
+        "ArenaLease: nested use of the thread build arena (an instance "
+        "builder called another builder mid-build)");
+  }
+  // Mark leased only once reset() has succeeded: if it throws (n < 0)
+  // the destructor never runs, and the flag must not stay poisoned.
+  b_.reset(n);
+  tls_arena_leased = true;
+}
+
+ArenaLease::~ArenaLease() { tls_arena_leased = false; }
+
+Tree induced_subgraph(const Tree& t, const std::vector<char>& keep,
+                      std::vector<NodeId>* from_sub,
+                      std::vector<NodeId>* to_sub) {
+  const NodeId n = t.size();
+  if (static_cast<NodeId>(keep.size()) != n) {
+    throw std::invalid_argument("induced_subgraph: mask size mismatch");
+  }
+  std::vector<NodeId> local_to;
+  std::vector<NodeId>& map = to_sub != nullptr ? *to_sub : local_to;
+  map.assign(static_cast<std::size_t>(n), kInvalidNode);
+  if (from_sub != nullptr) from_sub->clear();
+  NodeId sub_n = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (keep[static_cast<std::size_t>(v)] == 0) continue;
+    map[static_cast<std::size_t>(v)] = sub_n++;
+    if (from_sub != nullptr) from_sub->push_back(v);
+  }
+  ArenaLease arena(sub_n);
+  TreeBuilder& b = *arena;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId sv = map[static_cast<std::size_t>(v)];
+    if (sv == kInvalidNode) continue;
+    b.set_input(sv, t.input(v));
+    for (const NodeId u : t.neighbors(v)) {
+      const NodeId su = map[static_cast<std::size_t>(u)];
+      if (su != kInvalidNode && u > v) b.add_edge(sv, su);
+    }
+  }
+  // An induced subgraph of a verified forest is a duplicate-free forest
+  // by construction (its edges are a subset of the parent's), so the
+  // verification passes are skipped on this checker hot path; unverified
+  // parents (cycles) may induce non-forests and keep the flag cleared.
+  return t.forest_checked() ? b.finalize_known_forest(0)
+                            : b.finalize_graph(0);
+}
+
 void Tree::validate_ids() const {
   std::unordered_set<LocalId> seen;
   seen.reserve(static_cast<std::size_t>(size()));

@@ -66,18 +66,10 @@ RunStats Engine::run(Program& program, std::int64_t max_rounds) {
   const std::size_t n = static_cast<std::size_t>(tree_.size());
   round_ = 0;
 
-  // CSR adjacency snapshot.
-  adj_off_.assign(n + 1, 0);
-  for (NodeId v = 0; v < tree_.size(); ++v) {
-    adj_off_[static_cast<std::size_t>(v) + 1] =
-        adj_off_[static_cast<std::size_t>(v)] + tree_.degree(v);
-  }
-  adj_.resize(static_cast<std::size_t>(adj_off_[n]));
-  for (NodeId v = 0; v < tree_.size(); ++v) {
-    std::size_t w =
-        static_cast<std::size_t>(adj_off_[static_cast<std::size_t>(v)]);
-    for (const NodeId u : tree_.neighbors(v)) adj_[w++] = u;
-  }
+  // The only adjacency "setup": borrow the Tree's native CSR pointers.
+  // Nothing is copied or rebuilt per run.
+  off_ = tree_.offsets().data();
+  adj_ = tree_.adjacency().data();
 
   cap_ = kInitialCap;
   arena_.assign(2 * n * static_cast<std::size_t>(cap_), 0);

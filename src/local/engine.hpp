@@ -23,9 +23,11 @@
 // staging slot; the synchronous flip at the end of the round just toggles
 // the parity bit of each node that published — no register is ever copied,
 // and a node that stays silent (or has terminated) costs nothing at the
-// flip. Adjacency is snapshotted once per run into a CSR (flat neighbor
-// array + offsets), so a `peek` is two array indexations into contiguous
-// memory instead of a walk through vector-of-vectors.
+// flip. Adjacency is NOT snapshotted: `graph::Tree` is CSR-native and
+// frozen (see graph/tree.hpp and DESIGN.md), so the engine borrows the
+// tree's own offset/neighbor arrays at the start of each run and a
+// `peek` is two array indexations into contiguous memory with zero
+// per-run adjacency work.
 //
 // Cost model. The engine keeps a compacted list of alive nodes (compacted
 // in place after each round, so terminated nodes cost nothing — not even a
@@ -117,7 +119,7 @@ class NodeCtx {
   }
 
  private:
-  /// Resolves a port to the neighbor's dense index via the CSR snapshot.
+  /// Resolves a port to the neighbor's dense index via the tree's CSR.
   [[nodiscard]] NodeId neighbor(int port) const;
 
   Engine& engine_;
@@ -162,16 +164,12 @@ struct RunStats {
   }
 };
 
-/// The synchronous engine. Construct with a finalized graph, `run` a
-/// program; the engine enforces the synchronous schedule and records
-/// termination rounds.
+/// The synchronous engine. Construct with a graph (frozen by
+/// construction — every `Tree` is), `run` a program; the engine enforces
+/// the synchronous schedule and records termination rounds.
 class Engine {
  public:
-  explicit Engine(const Tree& tree) : tree_(tree) {
-    if (!tree.finalized()) {
-      throw std::invalid_argument("Engine: tree must be finalized");
-    }
-  }
+  explicit Engine(const Tree& tree) : tree_(tree) {}
 
   /// Runs `program` to completion (or `max_rounds`). Throws if any node
   /// fails to terminate within the bound.
@@ -205,9 +203,13 @@ class Engine {
   const Tree& tree_;
   std::int64_t round_ = 0;
 
-  // CSR adjacency snapshot: neighbors of v are adj_[adj_off_[v] + port].
-  std::vector<NodeId> adj_;
-  std::vector<std::int32_t> adj_off_;
+  // Borrowed views of the tree's native CSR, captured at the top of each
+  // run() (so reassigning the referenced Tree between runs stays safe,
+  // as it was under the per-run snapshot): neighbors of v are
+  // adj_[off_[v] + port]. The arrays never move during a run — topology
+  // is frozen and attribute setters touch separate storage.
+  const std::int32_t* off_ = nullptr;
+  const NodeId* adj_ = nullptr;
 
   // Flat register arena; see the file header for the layout.
   std::int64_t cap_ = kInitialCap;
@@ -231,9 +233,8 @@ class Engine {
 // register read.
 
 inline int NodeCtx::degree() const {
-  return static_cast<int>(
-      engine_.adj_off_[static_cast<std::size_t>(v_) + 1] -
-      engine_.adj_off_[static_cast<std::size_t>(v_)]);
+  return static_cast<int>(engine_.off_[static_cast<std::size_t>(v_) + 1] -
+                          engine_.off_[static_cast<std::size_t>(v_)]);
 }
 
 inline std::int64_t NodeCtx::local_id() const {
@@ -248,7 +249,7 @@ inline std::int64_t NodeCtx::round() const { return engine_.round_; }
 
 inline NodeId NodeCtx::neighbor(int port) const {
   return engine_.adj_[static_cast<std::size_t>(
-                          engine_.adj_off_[static_cast<std::size_t>(v_)]) +
+                          engine_.off_[static_cast<std::size_t>(v_)]) +
                       static_cast<std::size_t>(port)];
 }
 

@@ -143,27 +143,10 @@ CheckResult check_weighted(const Tree& tree, int k, int d, Variant variant,
     active_mask[static_cast<std::size_t>(v)] = is_active(v) ? 1 : 0;
   }
   {
-    // Build the induced active subgraph with an index map, check it.
-    std::vector<NodeId> to_sub(static_cast<std::size_t>(n), graph::kInvalidNode);
+    // Check the induced active subgraph.
     std::vector<NodeId> from_sub;
-    for (NodeId v = 0; v < n; ++v) {
-      if (is_active(v)) {
-        to_sub[static_cast<std::size_t>(v)] =
-            static_cast<NodeId>(from_sub.size());
-        from_sub.push_back(v);
-      }
-    }
-    Tree sub(static_cast<NodeId>(from_sub.size()));
-    for (NodeId v = 0; v < n; ++v) {
-      if (!is_active(v)) continue;
-      for (NodeId u : tree.neighbors(v)) {
-        if (is_active(u) && u > v) {
-          sub.add_edge(to_sub[static_cast<std::size_t>(v)],
-                       to_sub[static_cast<std::size_t>(u)]);
-        }
-      }
-    }
-    sub.finalize(0);
+    const Tree sub =
+        graph::induced_subgraph(tree, active_mask, &from_sub);
     std::vector<int> sub_out(from_sub.size());
     for (std::size_t i = 0; i < from_sub.size(); ++i) {
       sub_out[i] = outputs[static_cast<std::size_t>(from_sub[i])].primary;
@@ -455,26 +438,13 @@ CheckResult check_weight_augmented(const Tree& tree, int k,
 
   // Rule 1: active subgraph solves k-hierarchical 2.5-coloring.
   {
-    std::vector<NodeId> to_sub(static_cast<std::size_t>(n), graph::kInvalidNode);
+    std::vector<char> active_mask(static_cast<std::size_t>(n), 0);
+    for (NodeId v = 0; v < n; ++v) {
+      active_mask[static_cast<std::size_t>(v)] = is_active(v) ? 1 : 0;
+    }
     std::vector<NodeId> from_sub;
-    for (NodeId v = 0; v < n; ++v) {
-      if (is_active(v)) {
-        to_sub[static_cast<std::size_t>(v)] =
-            static_cast<NodeId>(from_sub.size());
-        from_sub.push_back(v);
-      }
-    }
-    Tree sub(static_cast<NodeId>(from_sub.size()));
-    for (NodeId v = 0; v < n; ++v) {
-      if (!is_active(v)) continue;
-      for (NodeId u : tree.neighbors(v)) {
-        if (is_active(u) && u > v) {
-          sub.add_edge(to_sub[static_cast<std::size_t>(v)],
-                       to_sub[static_cast<std::size_t>(u)]);
-        }
-      }
-    }
-    sub.finalize(0);
+    const Tree sub =
+        graph::induced_subgraph(tree, active_mask, &from_sub);
     std::vector<int> sub_out(from_sub.size());
     for (std::size_t i = 0; i < from_sub.size(); ++i) {
       sub_out[i] = outputs[static_cast<std::size_t>(from_sub[i])].primary;
@@ -490,26 +460,13 @@ CheckResult check_weight_augmented(const Tree& tree, int k,
   // Definition-63 rules on the weight-induced subgraph, ignoring ports
   // that lead to active nodes (those are governed by Rule 3).
   {
-    std::vector<NodeId> to_sub(static_cast<std::size_t>(n), graph::kInvalidNode);
+    std::vector<char> weight_mask(static_cast<std::size_t>(n), 0);
+    for (NodeId v = 0; v < n; ++v) {
+      weight_mask[static_cast<std::size_t>(v)] = is_active(v) ? 0 : 1;
+    }
     std::vector<NodeId> from_sub;
-    for (NodeId v = 0; v < n; ++v) {
-      if (!is_active(v)) {
-        to_sub[static_cast<std::size_t>(v)] =
-            static_cast<NodeId>(from_sub.size());
-        from_sub.push_back(v);
-      }
-    }
-    Tree sub(static_cast<NodeId>(from_sub.size()));
-    for (NodeId v = 0; v < n; ++v) {
-      if (is_active(v)) continue;
-      for (NodeId u : tree.neighbors(v)) {
-        if (!is_active(u) && u > v) {
-          sub.add_edge(to_sub[static_cast<std::size_t>(v)],
-                       to_sub[static_cast<std::size_t>(u)]);
-        }
-      }
-    }
-    sub.finalize(0);
+    const Tree sub =
+        graph::induced_subgraph(tree, weight_mask, &from_sub);
     std::vector<int> sub_labels(from_sub.size());
     OrientationMap sub_orient(from_sub.size());
     for (std::size_t i = 0; i < from_sub.size(); ++i) {

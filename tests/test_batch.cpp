@@ -150,6 +150,50 @@ TEST(BatchRunner, MakeJobComposesBuilderProgramChecker) {
   EXPECT_DOUBLE_EQ(results[0].scale, 64.0);
 }
 
+TEST(BatchRunner, MakeFamilyJobBuildsThroughTheRegistry) {
+  // A do-nothing program (terminate at init) over registry families:
+  // exercises family-by-name instance construction on worker threads,
+  // including the per-thread arena, and the build-time recording.
+  class Immediate final : public local::Program {
+   public:
+    void on_init(local::NodeCtx& ctx) override { ctx.terminate(0); }
+    void on_round(local::NodeCtx&) override {}
+  };
+  std::vector<BatchJob> jobs;
+  for (const char* family : {"spider", "broom", "prufer", "galton_watson"}) {
+    jobs.push_back(core::make_family_job(
+        family, 200.0, 5, family, 200, /*delta=*/0,
+        [](const graph::Tree&) { return std::make_unique<Immediate>(); },
+        [](const graph::Tree& t, const local::RunStats&) {
+          return t.is_tree() ? problems::CheckResult::pass()
+                             : problems::CheckResult::fail("not a tree");
+        }));
+  }
+  const auto results = core::run_batch(jobs, 2);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.valid) << r.check_reason;
+    EXPECT_GE(r.n, 100);
+    EXPECT_GE(r.build_ms, 0.0);
+  }
+  // Misconfiguration fails at construction, not on a worker: unknown
+  // name, and a degree bound the family cannot honor.
+  const auto program = [](const graph::Tree&) {
+    return std::make_unique<Immediate>();
+  };
+  const auto pass = [](const graph::Tree&, const local::RunStats&) {
+    return problems::CheckResult::pass();
+  };
+  EXPECT_THROW(
+      (void)core::make_family_job("nope", 1.0, 0, "nope", 10, 0, program,
+                                  pass),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)core::make_family_job("path", 1.0, 0, "path", 10, /*delta=*/4,
+                                  program, pass),
+      std::invalid_argument);
+}
+
 TEST(BatchRunner, EmptyBatchAndThreadCount) {
   BatchOptions opts;
   opts.threads = 5;

@@ -1,0 +1,184 @@
+// Instance-family registry: every named family must yield connected,
+// degree-bounded instances at a range of sizes, deterministically in the
+// seed, and the registry lookups/selection parsing must be exact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/builders.hpp"
+#include "graph/families.hpp"
+#include "graph/tree.hpp"
+
+namespace lcl {
+namespace {
+
+using graph::NodeId;
+using graph::Tree;
+
+TEST(Families, RegistryHasThePaperShapes) {
+  const std::vector<std::string> names = graph::family_names();
+  const std::set<std::string> have(names.begin(), names.end());
+  for (const char* required :
+       {"path", "cycle", "star", "caterpillar", "dary", "spider", "broom",
+        "binary_pendant", "galton_watson", "prufer", "random_attach"}) {
+    EXPECT_TRUE(have.count(required)) << "missing family " << required;
+  }
+  // The registry grew by at least 6 named tree shapes beyond the seed's
+  // hand-wired path/cycle/star/caterpillar/random set.
+  EXPECT_GE(names.size(), 10u);
+}
+
+TEST(Families, EveryFamilyConnectedAndDegreeBounded) {
+  for (const graph::Family& f : graph::all_families()) {
+    for (const NodeId n : {8, 60, 500}) {
+      const Tree t = graph::make_family_instance(f.name, n, /*seed=*/3);
+      // Families round n to their shape grid but must stay in the same
+      // ballpark and never come back empty.
+      EXPECT_GE(t.size(), std::min<NodeId>(n / 2, 30)) << f.name;
+      EXPECT_LE(t.size(), 4 * n + 8) << f.name;
+      const auto [comp, count] = graph::components(t);
+      (void)comp;
+      EXPECT_EQ(count, 1) << f.name << " disconnected at n=" << n;
+      if (f.is_tree) {
+        EXPECT_TRUE(t.is_tree()) << f.name << " not a tree at n=" << n;
+        EXPECT_TRUE(t.forest_checked()) << f.name;
+      } else {
+        EXPECT_FALSE(t.forest_checked()) << f.name;
+      }
+      if (f.default_delta > 0) {
+        EXPECT_LE(t.max_degree(), f.default_delta)
+            << f.name << " exceeds its default degree bound at n=" << n;
+      }
+      t.validate_ids();
+    }
+  }
+}
+
+TEST(Families, ExplicitDeltaIsRespected) {
+  for (const char* name : {"galton_watson", "prufer", "random_attach"}) {
+    const Tree t =
+        graph::make_family_instance(name, 400, /*seed=*/9, /*delta=*/3);
+    EXPECT_LE(t.max_degree(), 3) << name;
+    EXPECT_TRUE(t.is_tree()) << name;
+  }
+  const Tree cat =
+      graph::make_family_instance("caterpillar", 300, 0, /*delta=*/4);
+  EXPECT_LE(cat.max_degree(), 4);
+}
+
+TEST(Families, UnsatisfiableExplicitDeltaThrows) {
+  // Shape-determined families take no degree parameter at all; a bound
+  // a family cannot honor must throw, never be silently substituted.
+  for (const char* name : {"path", "cycle", "star", "broom"}) {
+    EXPECT_THROW((void)graph::make_family_instance(name, 50, 0, 4),
+                 std::invalid_argument)
+        << name;
+  }
+  EXPECT_THROW((void)graph::make_family_instance("dary", 50, 0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)graph::make_family_instance("binary_pendant", 50, 0, 2),
+      std::invalid_argument);
+  EXPECT_THROW((void)graph::make_family_instance("caterpillar", 50, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)graph::make_family_instance("spider", 50, 0, 1),
+               std::invalid_argument);
+  // delta = 2 is the tightest honorable spider bound (a path).
+  EXPECT_LE(graph::make_family_instance("spider", 50, 0, 2).max_degree(),
+            2);
+}
+
+TEST(Families, RandomFamiliesAreSeedDeterministic) {
+  for (const graph::Family& f : graph::all_families()) {
+    if (!f.randomized) continue;
+    const Tree a = graph::make_family_instance(f.name, 300, 42);
+    const Tree b = graph::make_family_instance(f.name, 300, 42);
+    const Tree c = graph::make_family_instance(f.name, 300, 43);
+    ASSERT_EQ(a.size(), b.size()) << f.name;
+    bool identical_ab = true;
+    bool identical_ac = a.size() == c.size();
+    for (NodeId v = 0; v < a.size(); ++v) {
+      const auto na = a.neighbors(v);
+      const auto nb = b.neighbors(v);
+      ASSERT_EQ(na.size(), nb.size()) << f.name << " node " << v;
+      for (std::size_t p = 0; p < na.size(); ++p) {
+        identical_ab = identical_ab && na[p] == nb[p];
+      }
+      if (identical_ac && v < c.size()) {
+        const auto nc = c.neighbors(v);
+        identical_ac = identical_ac && na.size() == nc.size();
+        for (std::size_t p = 0; identical_ac && p < na.size(); ++p) {
+          identical_ac = na[p] == nc[p];
+        }
+      }
+    }
+    EXPECT_TRUE(identical_ab) << f.name << " not seed-deterministic";
+    EXPECT_FALSE(identical_ac) << f.name << " ignores its seed";
+  }
+}
+
+TEST(Families, LookupAndErrors) {
+  EXPECT_NE(graph::find_family("spider"), nullptr);
+  EXPECT_EQ(graph::find_family("moebius"), nullptr);
+  EXPECT_THROW((void)graph::make_family_instance("moebius", 10),
+               std::invalid_argument);
+}
+
+TEST(Families, ParseFamilyList) {
+  const auto all = graph::parse_family_list("all");
+  EXPECT_GE(all.size(), 6u);
+  for (const std::string& name : all) {
+    const graph::Family* f = graph::find_family(name);
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->is_tree) << "'all' must select only tree families";
+  }
+  EXPECT_EQ(graph::parse_family_list(""), all);
+
+  const auto picked = graph::parse_family_list("spider,broom,cycle");
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked[0], "spider");
+  EXPECT_EQ(picked[1], "broom");
+  EXPECT_EQ(picked[2], "cycle");  // non-tree families by explicit name
+
+  EXPECT_THROW((void)graph::parse_family_list("spider,nope"),
+               std::invalid_argument);
+}
+
+TEST(Families, SpecificShapes) {
+  const Tree spider = graph::make_spider(5, 7);
+  EXPECT_EQ(spider.size(), 1 + 5 * 7);
+  EXPECT_EQ(spider.degree(0), 5);
+  EXPECT_TRUE(spider.is_tree());
+
+  const Tree broom = graph::make_broom(10, 6);
+  EXPECT_EQ(broom.size(), 16);
+  EXPECT_EQ(broom.degree(9), 7);  // handle end: 1 path + 6 bristles
+  EXPECT_TRUE(broom.is_tree());
+
+  const Tree bp = graph::make_binary_with_pendant_paths(15, 33);
+  EXPECT_EQ(bp.size(), 48);
+  EXPECT_TRUE(bp.is_tree());
+  EXPECT_LE(bp.max_degree(), 3);
+
+  const Tree gw = graph::make_galton_watson_tree(777, 4, 5);
+  EXPECT_EQ(gw.size(), 777);
+  EXPECT_TRUE(gw.is_tree());
+  EXPECT_LE(gw.max_degree(), 4);
+
+  const Tree pr = graph::make_prufer_tree(500, 6, 11);
+  EXPECT_EQ(pr.size(), 500);
+  EXPECT_TRUE(pr.is_tree());
+  EXPECT_LE(pr.max_degree(), 6);
+
+  // Uncapped Prüfer decodes a valid labeled tree too.
+  const Tree pru = graph::make_prufer_tree(200, 0, 13);
+  EXPECT_EQ(pru.size(), 200);
+  EXPECT_TRUE(pru.is_tree());
+}
+
+}  // namespace
+}  // namespace lcl

@@ -3,6 +3,11 @@
 // lower-bound graphs match the Definition-8 peeling.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
 #include "graph/builders.hpp"
 #include "graph/tree.hpp"
 #include "problems/levels.hpp"
@@ -75,12 +80,193 @@ TEST(Graph, IdSchemes) {
 }
 
 TEST(Graph, ForestDetection) {
-  Tree t(4);
-  t.add_edge(0, 1);
-  t.add_edge(1, 2);
-  t.add_edge(2, 0);  // triangle
-  t.finalize(0);
+  graph::TreeBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);  // triangle
+  // finalize proves forest-ness and must reject the triangle; the
+  // explicit non-forest finalize admits it with the flag cleared.
+  EXPECT_THROW((void)b.finalize(0), std::logic_error);
+  const Tree t = b.finalize_graph(0);
+  EXPECT_FALSE(t.forest_checked());
   EXPECT_FALSE(t.is_forest());
+}
+
+// --- CSR substrate: TreeBuilder validation + round-trip ---------------
+
+TEST(Graph, CsrRoundTripMatchesReferenceAdjacency) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const NodeId n = 400;
+    // Feed the same random edge sequence to the CSR builder and to an
+    // independently maintained vector-of-vectors reference (the old
+    // Tree representation's exact push_back semantics), then compare.
+    std::mt19937_64 rng(seed);
+    graph::TreeBuilder b(n);
+    std::vector<std::vector<NodeId>> ref(static_cast<std::size_t>(n));
+    for (NodeId v = 1; v < n; ++v) {
+      std::uniform_int_distribution<NodeId> pick(0, v - 1);
+      const NodeId u = pick(rng);
+      b.add_edge(u, v);
+      ref[static_cast<std::size_t>(u)].push_back(v);
+      ref[static_cast<std::size_t>(v)].push_back(u);
+    }
+    const Tree t = b.finalize(0);
+    ASSERT_TRUE(t.is_tree());
+    // The flat CSR arrays must agree with the spans and with each other.
+    const auto off = t.offsets();
+    const auto adj = t.adjacency();
+    ASSERT_EQ(off.size(), static_cast<std::size_t>(n) + 1);
+    ASSERT_EQ(adj.size(), 2 * static_cast<std::size_t>(t.edge_count()));
+    std::int64_t degree_sum = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto nb = t.neighbors(v);
+      ASSERT_EQ(static_cast<int>(nb.size()), t.degree(v));
+      degree_sum += t.degree(v);
+      for (std::size_t p = 0; p < nb.size(); ++p) {
+        EXPECT_EQ(nb[p],
+                  adj[static_cast<std::size_t>(
+                          off[static_cast<std::size_t>(v)]) +
+                      p]);
+        EXPECT_EQ(nb[p], ref[static_cast<std::size_t>(v)][p]);
+      }
+    }
+    EXPECT_EQ(degree_sum, 2 * t.edge_count());
+    // Symmetry: u appears in v's list iff v appears in u's list.
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId u : t.neighbors(v)) {
+        bool found = false;
+        for (NodeId w : t.neighbors(u)) found = found || w == v;
+        EXPECT_TRUE(found) << "edge " << v << "-" << u << " not mirrored";
+      }
+    }
+  }
+}
+
+TEST(Graph, BuilderPortOrderIsInsertionOrder) {
+  graph::TreeBuilder b(5);
+  b.add_edge(2, 0);
+  b.add_edge(2, 4);
+  b.add_edge(2, 1);
+  b.add_edge(3, 2);
+  const Tree t = b.finalize(0);
+  const auto nb = t.neighbors(2);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_EQ(nb[0], 0);
+  EXPECT_EQ(nb[1], 4);
+  EXPECT_EQ(nb[2], 1);
+  EXPECT_EQ(nb[3], 3);
+}
+
+TEST(Graph, NeighborSpansStableAfterFinalize) {
+  Tree t = graph::make_caterpillar(20, 2);
+  const auto before = t.neighbors(5);
+  const NodeId first = before[0];
+  // Attribute mutation (IDs, inputs) must not move the topology arrays.
+  for (NodeId v = 0; v < t.size(); ++v) {
+    t.set_local_id(v, 1000 + v);
+    t.set_input(v, 7);
+  }
+  const auto after = t.neighbors(5);
+  EXPECT_EQ(before.data(), after.data());
+  EXPECT_EQ(before.size(), after.size());
+  EXPECT_EQ(after[0], first);
+  // Spans point into the tree's own flat adjacency array.
+  const auto adj = t.adjacency();
+  EXPECT_GE(after.data(), adj.data());
+  EXPECT_LE(after.data() + after.size(), adj.data() + adj.size());
+}
+
+TEST(Graph, BuilderRejectsSelfLoop) {
+  graph::TreeBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 3), std::out_of_range);
+  EXPECT_THROW(b.add_edge(-1, 0), std::out_of_range);
+}
+
+TEST(Graph, BuilderRejectsDuplicateEdge) {
+  graph::TreeBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // same undirected edge, either orientation
+  EXPECT_THROW((void)b.finalize(0), std::logic_error);
+}
+
+TEST(Graph, BuilderRejectsDegreeOverflow) {
+  graph::TreeBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) b.add_edge(0, v);
+  EXPECT_THROW((void)b.finalize(3), std::logic_error);
+  EXPECT_EQ(b.finalize(4).max_degree(), 4);
+}
+
+TEST(Graph, BuilderArenaIsReusable) {
+  graph::TreeBuilder& arena = graph::tls_build_arena();
+  arena.reset(3);
+  arena.add_edge(0, 1);
+  arena.add_edge(1, 2);
+  const Tree path = arena.finalize(2);
+  arena.reset(4);
+  for (NodeId v = 1; v < 4; ++v) arena.add_edge(0, v);
+  const Tree star = arena.finalize(3);
+  // The earlier emitted tree owns its storage and survives arena reuse.
+  EXPECT_TRUE(path.is_tree());
+  EXPECT_EQ(path.degree(1), 2);
+  EXPECT_TRUE(star.is_tree());
+  EXPECT_EQ(star.degree(0), 3);
+}
+
+TEST(Graph, FailedBuildDoesNotPoisonTheArena) {
+  // A builder that throws during lease acquisition (negative n) must not
+  // leave the thread's arena marked leased; later builds on this thread
+  // have to work.
+  EXPECT_THROW((void)graph::make_path(-1), std::invalid_argument);
+  const Tree ok = graph::make_path(10);
+  EXPECT_EQ(ok.size(), 10);
+  // Same for a failure after acquisition (cycle rejected at finalize).
+  graph::TreeBuilder bad(3);
+  bad.add_edge(0, 1);
+  bad.add_edge(1, 2);
+  bad.add_edge(2, 0);
+  EXPECT_THROW((void)bad.finalize(0), std::logic_error);
+  EXPECT_TRUE(graph::make_star(4).is_tree());
+}
+
+TEST(Graph, MakeCycleCarriesNonForestFlag) {
+  const Tree c = graph::make_cycle(6);
+  EXPECT_FALSE(c.forest_checked());
+  EXPECT_FALSE(c.is_forest());
+  EXPECT_EQ(c.max_degree(), 2);
+  EXPECT_EQ(c.edge_count(), 6);
+  EXPECT_TRUE(graph::make_path(6).forest_checked());
+}
+
+TEST(Graph, InducedSubgraph) {
+  // Caterpillar spine 4, 1 leg each: keep only the spine.
+  const Tree t = graph::make_caterpillar(4, 1);
+  std::vector<char> keep(static_cast<std::size_t>(t.size()), 0);
+  for (NodeId v = 0; v < 4; ++v) keep[static_cast<std::size_t>(v)] = 1;
+  std::vector<NodeId> from_sub;
+  std::vector<NodeId> to_sub;
+  const Tree sub = graph::induced_subgraph(t, keep, &from_sub, &to_sub);
+  EXPECT_EQ(sub.size(), 4);
+  EXPECT_EQ(sub.edge_count(), 3);
+  EXPECT_TRUE(sub.is_tree());
+  ASSERT_EQ(from_sub.size(), 4u);
+  for (NodeId s = 0; s < 4; ++s) {
+    EXPECT_EQ(from_sub[static_cast<std::size_t>(s)], s);
+    EXPECT_EQ(to_sub[static_cast<std::size_t>(s)], s);
+  }
+  for (NodeId v = 4; v < t.size(); ++v) {
+    EXPECT_EQ(to_sub[static_cast<std::size_t>(v)], graph::kInvalidNode);
+  }
+  // Verified parent -> verified (known-forest) subgraph; unverified
+  // parent (cycle) -> flag stays cleared, and a full-mask induced
+  // subgraph of a cycle is still the cycle.
+  EXPECT_TRUE(sub.forest_checked());
+  const Tree cyc = graph::make_cycle(5);
+  const std::vector<char> all(5, 1);
+  const Tree cyc_sub = graph::induced_subgraph(cyc, all);
+  EXPECT_FALSE(cyc_sub.forest_checked());
+  EXPECT_EQ(cyc_sub.edge_count(), 5);
+  EXPECT_FALSE(cyc_sub.is_forest());
 }
 
 // --- Definition 18: the hierarchical lower-bound graph (Figure 3) ----

@@ -25,14 +25,7 @@ core::MeasuredRun run_two_coloring(graph::NodeId n, std::uint64_t seed) {
   o.k = 1;
   const auto stats = algo::run_generic(t, o);
   const auto check = problems::check_two_coloring(t, stats.primaries());
-  core::MeasuredRun r;
-  r.scale = static_cast<double>(n);
-  r.node_averaged = stats.node_averaged;
-  r.worst_case = stats.worst_case;
-  r.n = n;
-  r.valid = check.ok;
-  r.check_reason = check.reason;
-  return r;
+  return core::measure_run(static_cast<double>(n), stats, check);
 }
 
 }  // namespace

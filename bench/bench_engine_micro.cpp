@@ -286,13 +286,8 @@ void run_engine_micro(ScenarioContext& ctx) {
       ArenaWave p;
       local::Engine e(t);
       const auto stats = e.run(p);
-      core::MeasuredRun r;
-      r.scale = static_cast<double>(batch_n);
-      r.node_averaged = stats.node_averaged;
-      r.worst_case = stats.worst_case;
-      r.n = stats.n;
-      r.valid = true;
-      return r;
+      return core::measure_run(static_cast<double>(batch_n), stats,
+                               problems::CheckResult::pass());
     };
     jobs.push_back(std::move(job));
   }

@@ -97,7 +97,7 @@ void run_family_sweep(ScenarioContext& ctx) {
     bool all_valid = true;
     double build_ms = 0.0;
     for (const core::MeasuredRun& r : runs) {
-      all_valid = all_valid && r.valid;
+      all_valid = all_valid && r.ok();
       build_ms = r.build_ms;  // keep the largest instance's build time
     }
     families_valid += all_valid ? 1 : 0;

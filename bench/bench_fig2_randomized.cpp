@@ -69,9 +69,13 @@ void run_fig2_randomized(ScenarioContext& ctx) {
     samples.push_back({static_cast<double>(n), stats.node_averaged});
   }
   const auto fit = core::fit_power_law(samples);
-  std::printf("  fitted exponent %.3f — squarely on the polynomial "
-              "side.\n\n", fit.exponent);
-  ctx.metric("two_coloring_exponent", fit.exponent);
+  if (fit.ok) {
+    std::printf("  fitted exponent %.3f — squarely on the polynomial "
+                "side.\n\n", fit.exponent);
+    ctx.metric("two_coloring_exponent", fit.exponent);
+  } else {
+    std::printf("  fitted exponent: (degenerate sweep, no fit)\n\n");
+  }
   std::printf("No randomized class exists strictly between: the paper's\n"
               "Figure 2 marks the whole omega(1)..n^{o(1)} randomized "
               "band as a gap.\n");

@@ -104,17 +104,23 @@ void run_lemma23_dfree(ScenarioContext& ctx) {
     const std::string cfg = "D" + std::to_string(c.delta) + "_d" +
                             std::to_string(c.d);
     const auto fa = core::fit_power_law(sa);
-    std::printf("  Algorithm A copy exponent: %.3f (paper: x = %.3f)\n",
-                fa.exponent, x);
-    ctx.metric("algo_a_exponent_" + cfg, fa.exponent);
-    if (!sf.empty()) {
-      const auto ff = core::fit_power_law(sf);
+    if (fa.ok) {
+      std::printf("  Algorithm A copy exponent: %.3f (paper: x = %.3f)\n",
+                  fa.exponent, x);
+      ctx.metric("algo_a_exponent_" + cfg, fa.exponent);
+    } else {
+      std::printf("  Algorithm A copy exponent: (degenerate sweep, no "
+                  "fit)\n");
+    }
+    const auto ff = core::fit_power_law(sf);
+    if (ff.ok) {
       std::printf("  FDA kept-copy exponent:    %.3f (paper: <= x' = "
                   "%.3f)\n",
                   ff.exponent, xp);
       ctx.metric("fda_exponent_" + cfg, ff.exponent);
     } else {
-      std::printf("  FDA kept-copy exponent:    (skipped, needs d >= 3)\n");
+      std::printf("  FDA kept-copy exponent:    (skipped, needs d >= 3 "
+                  "and a non-degenerate sweep)\n");
     }
     std::printf("\n");
   }

@@ -32,14 +32,8 @@ core::MeasuredRun run_one(int k, std::int64_t target_n,
   const auto check = problems::check_weight_augmented(
       inst.tree, k, stats.output, orient);
 
-  core::MeasuredRun r;
-  r.scale = static_cast<double>(inst.tree.size());
-  r.node_averaged = stats.node_averaged;
-  r.worst_case = stats.worst_case;
-  r.n = inst.tree.size();
-  r.valid = check.ok;
-  r.check_reason = check.reason;
-  return r;
+  return core::measure_run(static_cast<double>(inst.tree.size()), stats,
+                           check);
 }
 
 }  // namespace

@@ -43,14 +43,7 @@ core::MeasuredRun run_35(int k, std::int64_t lambda, std::int64_t target_n,
   const auto check = problems::check_hierarchical_coloring(
       inst.tree, k, problems::Variant::kThreeHalf, stats.primaries());
 
-  core::MeasuredRun r;
-  r.scale = static_cast<double>(lambda);
-  r.node_averaged = stats.node_averaged;
-  r.worst_case = stats.worst_case;
-  r.n = inst.tree.size();
-  r.valid = check.ok;
-  r.check_reason = check.reason;
-  return r;
+  return core::measure_run(static_cast<double>(lambda), stats, check);
 }
 
 core::MeasuredRun run_25(int k, std::int64_t target_n, std::uint64_t seed) {
@@ -72,14 +65,8 @@ core::MeasuredRun run_25(int k, std::int64_t target_n, std::uint64_t seed) {
   const auto check = problems::check_hierarchical_coloring(
       inst.tree, k, problems::Variant::kTwoHalf, stats.primaries());
 
-  core::MeasuredRun r;
-  r.scale = static_cast<double>(inst.tree.size());
-  r.node_averaged = stats.node_averaged;
-  r.worst_case = stats.worst_case;
-  r.n = inst.tree.size();
-  r.valid = check.ok;
-  r.check_reason = check.reason;
-  return r;
+  return core::measure_run(static_cast<double>(inst.tree.size()), stats,
+                           check);
 }
 
 }  // namespace

@@ -42,14 +42,8 @@ core::MeasuredRun run_one(int delta, int d, int k, std::int64_t target_n,
   const auto check = problems::check_weighted(
       inst.tree, k, d, problems::Variant::kTwoHalf, stats.output);
 
-  core::MeasuredRun r;
-  r.scale = static_cast<double>(inst.tree.size());
-  r.node_averaged = core::weight_adjusted_average(inst.tree, stats);
-  r.worst_case = stats.worst_case;
-  r.n = inst.tree.size();
-  r.valid = check.ok;
-  r.check_reason = check.reason;
-  return r;
+  return core::measure_run_weight_adjusted(
+      static_cast<double>(inst.tree.size()), inst.tree, stats, check);
 }
 
 }  // namespace

@@ -38,14 +38,8 @@ core::MeasuredRun run_one(int delta, int d, int k, std::int64_t lambda,
   const auto check = problems::check_weighted(
       inst.tree, k, d, problems::Variant::kThreeHalf, stats.output);
 
-  core::MeasuredRun r;
-  r.scale = static_cast<double>(lambda);
-  r.node_averaged = core::weight_adjusted_average(inst.tree, stats);
-  r.worst_case = stats.worst_case;
-  r.n = inst.tree.size();
-  r.valid = check.ok;
-  r.check_reason = check.reason;
-  return r;
+  return core::measure_run_weight_adjusted(static_cast<double>(lambda),
+                                           inst.tree, stats, check);
 }
 
 }  // namespace

@@ -1,0 +1,266 @@
+#include "compare.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+
+namespace lcl::bench {
+
+namespace {
+
+using core::json::Value;
+
+/// Schema version of "lclbench-v<k>"; -1 for anything else.
+int schema_version(const std::string& schema) {
+  const std::string prefix = "lclbench-v";
+  if (schema.rfind(prefix, 0) != 0) return -1;
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(schema.substr(prefix.size()), &used);
+    if (used != schema.size() - prefix.size()) return -1;
+    return v;
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+/// Whether a run record is ok under either schema: v3 writes a "status"
+/// string, v2 only the "valid" bool.
+bool run_ok(const Value& run) {
+  const Value* status = run.find("status");
+  if (status != nullptr) return status->string_or("") == "ok";
+  return run.get_bool("valid", false);
+}
+
+struct Tally {
+  int series_compared = 0;
+  int regressions = 0;
+  int warnings = 0;
+
+  void regression(const std::string& what) {
+    ++regressions;
+    std::printf("REGRESSION: %s\n", what.c_str());
+  }
+  void warning(const std::string& what) {
+    ++warnings;
+    std::printf("warning: %s\n", what.c_str());
+  }
+};
+
+const Value* find_by_key(const Value& arr, std::string_view key,
+                         const std::string& value) {
+  if (!arr.is_array()) return nullptr;
+  for (const Value& e : arr.array) {
+    if (e.get_string(key, "") == value) return &e;
+  }
+  return nullptr;
+}
+
+int count_not_ok(const Value& series) {
+  const Value* runs = series.find("runs");
+  if (runs == nullptr || !runs->is_array()) return 0;
+  int bad = 0;
+  for (const Value& run : runs->array) {
+    if (!run_ok(run)) ++bad;
+  }
+  return bad;
+}
+
+int count_runs(const Value& series) {
+  const Value* runs = series.find("runs");
+  return runs != nullptr && runs->is_array()
+             ? static_cast<int>(runs->array.size())
+             : 0;
+}
+
+void compare_series(const std::string& where, const Value& old_series,
+                    const Value& new_series, const CompareOptions& opts,
+                    Tally& tally) {
+  ++tally.series_compared;
+
+  // Coverage: losing sweep points is a regression — a series that
+  // silently recorded fewer (or no) runs must not read as healthy just
+  // because nothing in it failed.
+  const int old_count = count_runs(old_series);
+  const int new_count = count_runs(new_series);
+  if (new_count < old_count) {
+    tally.regression(where + ": only " + std::to_string(new_count) +
+                     " runs recorded (was " + std::to_string(old_count) +
+                     ")");
+  }
+
+  // Validity: the new snapshot must not have more failing runs than the
+  // old one (statuses truncated/build_failed/exception all count).
+  const int old_bad = count_not_ok(old_series);
+  const int new_bad = count_not_ok(new_series);
+  if (new_bad > old_bad) {
+    tally.regression(where + ": " + std::to_string(new_bad) +
+                     " non-ok runs (was " + std::to_string(old_bad) + ")");
+  }
+
+  // Exponent drift, when both snapshots managed a fit.
+  const Value* old_fit = old_series.find("fitted_exponent");
+  const Value* new_fit = new_series.find("fitted_exponent");
+  if (old_fit != nullptr && new_fit != nullptr) {
+    const double drift =
+        std::abs(new_fit->number_or(0.0) - old_fit->number_or(0.0));
+    if (drift > opts.tol_exponent) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "exponent drift %.4f > %.4f (%.4f -> %.4f)", drift,
+                    opts.tol_exponent, old_fit->number_or(0.0),
+                    new_fit->number_or(0.0));
+      tally.regression(where + ": " + buf);
+    }
+  } else if (old_fit != nullptr && new_fit == nullptr) {
+    tally.warning(where + ": fitted exponent disappeared (too few valid "
+                          "samples in the new snapshot)");
+  }
+
+  // Node-averaged drift at matching sweep scales (opt-in: only sound
+  // when both snapshots ran the same --n).
+  if (opts.tol_avg > 0.0) {
+    const Value* old_runs = old_series.find("runs");
+    const Value* new_runs = new_series.find("runs");
+    if (old_runs != nullptr && old_runs->is_array() &&
+        new_runs != nullptr && new_runs->is_array()) {
+      for (const Value& old_run : old_runs->array) {
+        if (!run_ok(old_run)) continue;
+        const double scale = old_run.get_number("scale", -1.0);
+        for (const Value& new_run : new_runs->array) {
+          if (new_run.get_number("scale", -2.0) != scale ||
+              !run_ok(new_run)) {
+            continue;
+          }
+          const double old_avg = old_run.get_number("node_averaged", 0.0);
+          const double new_avg = new_run.get_number("node_averaged", 0.0);
+          if (old_avg > 0.0 &&
+              std::abs(new_avg / old_avg - 1.0) > opts.tol_avg) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "node-averaged at scale %.0f drifted %.1f%% "
+                          "(%.3f -> %.3f)",
+                          scale, 100.0 * (new_avg / old_avg - 1.0),
+                          old_avg, new_avg);
+            tally.regression(where + ": " + buf);
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int compare_snapshots(const std::string& old_path,
+                      const std::string& new_path,
+                      const CompareOptions& opts) {
+  Value old_snap;
+  Value new_snap;
+  try {
+    old_snap = core::json::parse_file(old_path);
+    new_snap = core::json::parse_file(new_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lclbench --compare: %s\n", e.what());
+    return 2;
+  }
+
+  const std::string old_schema = old_snap.get_string("schema", "");
+  const std::string new_schema = new_snap.get_string("schema", "");
+  std::printf("comparing %s (%s) -> %s (%s)\n", old_path.c_str(),
+              old_schema.c_str(), new_path.c_str(), new_schema.c_str());
+
+  Tally tally;
+  const int old_version = schema_version(old_schema);
+  const int new_version = schema_version(new_schema);
+  if (old_version < 0) {
+    std::fprintf(stderr, "lclbench --compare: %s has unknown schema '%s'\n",
+                 old_path.c_str(), old_schema.c_str());
+    return 2;
+  }
+  if (new_version < 0) {
+    tally.regression("new snapshot has unknown schema '" + new_schema +
+                     "'");
+  } else if (new_version < old_version) {
+    tally.regression("schema downgraded " + old_schema + " -> " +
+                     new_schema);
+  }
+
+  const Value* old_scenarios = old_snap.find("scenarios");
+  const Value* new_scenarios = new_snap.find("scenarios");
+  if (old_scenarios == nullptr || !old_scenarios->is_array() ||
+      new_scenarios == nullptr || !new_scenarios->is_array()) {
+    std::fprintf(stderr,
+                 "lclbench --compare: snapshot missing \"scenarios\"\n");
+    return 2;
+  }
+
+  double old_wall_total = 0.0;
+  double new_wall_total = 0.0;
+  for (const Value& old_scenario : old_scenarios->array) {
+    const std::string name = old_scenario.get_string("name", "?");
+    const Value* new_scenario = find_by_key(*new_scenarios, "name", name);
+    if (new_scenario == nullptr) {
+      if (opts.allow_missing) {
+        tally.warning("scenario '" + name + "' missing from new snapshot");
+      } else {
+        tally.regression("scenario '" + name +
+                         "' missing from new snapshot");
+      }
+      continue;
+    }
+
+    const double old_wall = old_scenario.get_number("wall_ms", 0.0);
+    const double new_wall = new_scenario->get_number("wall_ms", 0.0);
+    old_wall_total += old_wall;
+    new_wall_total += new_wall;
+    if (old_wall > 0.0 && new_wall > 0.0) {
+      const double ratio = new_wall / old_wall;
+      std::printf("  %-22s wall %8.0f ms -> %8.0f ms (%.2fx)\n",
+                  name.c_str(), old_wall, new_wall, ratio);
+      if (opts.tol_wall > 0.0 && ratio > opts.tol_wall) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "wall time %.2fx > %.2fx budget",
+                      ratio, opts.tol_wall);
+        tally.regression(name + ": " + buf);
+      }
+    }
+
+    const Value* old_series_arr = old_scenario.find("series");
+    const Value* new_series_arr = new_scenario->find("series");
+    if (old_series_arr == nullptr || !old_series_arr->is_array()) continue;
+    for (const Value& old_series : old_series_arr->array) {
+      const std::string title = old_series.get_string("title", "?");
+      const Value* new_series =
+          new_series_arr == nullptr
+              ? nullptr
+              : find_by_key(*new_series_arr, "title", title);
+      const std::string where = name + " / \"" + title + "\"";
+      if (new_series == nullptr) {
+        if (opts.allow_missing) {
+          tally.warning(where + ": series missing from new snapshot");
+        } else {
+          tally.regression(where + ": series missing from new snapshot");
+        }
+        continue;
+      }
+      compare_series(where, old_series, *new_series, opts, tally);
+    }
+  }
+
+  if (old_wall_total > 0.0 && new_wall_total > 0.0) {
+    std::printf("total wall: %.0f ms -> %.0f ms (%.2fx)\n", old_wall_total,
+                new_wall_total, new_wall_total / old_wall_total);
+  }
+  std::printf(
+      "summary: %d series compared, %d regression(s), %d warning(s)\n",
+      tally.series_compared, tally.regressions, tally.warnings);
+  return tally.regressions > 0 ? 1 : 0;
+}
+
+}  // namespace lcl::bench

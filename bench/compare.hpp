@@ -1,0 +1,45 @@
+// Snapshot regression gate: diffs two BENCH_*.json files.
+//
+// `lclbench --compare old.json new.json` loads both snapshots (schema
+// lclbench-v2 or -v3), matches scenarios by name and series by title,
+// and reports
+//   - schema regressions (new schema older than old, or unknown),
+//   - validity regressions (a series with more non-ok runs than before,
+//     including truncated / build_failed / exception statuses),
+//   - coverage regressions (a series recording fewer runs than before),
+//   - missing scenarios or series,
+//   - fitted-exponent drift beyond --tol-exponent,
+//   - node-averaged drift at matching sweep scales (--tol-avg, off by
+//     default: values at different --n are not comparable),
+//   - wall-time ratios (gated only when --tol-wall is set; always
+//     reported).
+// Exit status: 0 = no regression, 1 = regressions found, 2 = a snapshot
+// could not be read or parsed. CI runs this against the committed
+// BENCH_all.json so the perf/validity trajectory is machine-checked.
+#pragma once
+
+#include <string>
+
+namespace lcl::bench {
+
+struct CompareOptions {
+  /// Absolute drift allowed in a series' fitted exponent.
+  double tol_exponent = 0.15;
+  /// Relative drift allowed in node_averaged at matching scales;
+  /// 0 disables the check (snapshots at different --n are incomparable).
+  double tol_avg = 0.0;
+  /// Max allowed new/old wall-time ratio per scenario; 0 disables the
+  /// gate (ratios are still reported).
+  double tol_wall = 0.0;
+  /// Downgrade missing scenarios/series from regression to warning
+  /// (useful when the new snapshot deliberately ran a subset).
+  bool allow_missing = false;
+};
+
+/// Diffs two snapshots, printing a report to stdout. Returns the process
+/// exit status documented above.
+[[nodiscard]] int compare_snapshots(const std::string& old_path,
+                                    const std::string& new_path,
+                                    const CompareOptions& opts);
+
+}  // namespace lcl::bench

@@ -1,7 +1,10 @@
 // Unified experiment runner: every paper scenario behind one CLI.
 // Flags (see cli_main in scenario.cpp): --list, --run <name|all>,
 // --n <scale>, --reps <r>, --threads <t>, --seed <s>,
-// --families <csv|all>, --json [path].
+// --families <csv|all>, --json [path]; plus the snapshot regression
+// gate --compare <old.json> <new.json> [--tol-exponent <e>]
+// [--tol-avg <rel>] [--tol-wall <ratio>] [--allow-missing]
+// (see bench/compare.hpp for the checks and exit codes).
 #include "scenario.hpp"
 
 int main(int argc, char** argv) {

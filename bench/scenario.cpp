@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "compare.hpp"
 #include "graph/families.hpp"
 
 namespace lcl::bench {
@@ -66,7 +67,7 @@ void write_json(const std::string& path, const ScenarioOptions& opts,
   std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ",
                 std::gmtime(&now));
   os << "{\n";
-  os << "  \"schema\": \"lclbench-v2\",\n";
+  os << "  \"schema\": \"lclbench-v3\",\n";
   os << "  \"timestamp\": \"" << stamp << "\",\n";
   os << "  \"n_scale\": " << json_number(opts.n_scale) << ",\n";
   os << "  \"reps\": " << opts.reps << ",\n";
@@ -103,9 +104,8 @@ void write_json(const std::string& path, const ScenarioOptions& opts,
          << ",\n";
       os << "          \"predicted_hi\": " << json_number(s.predicted_hi)
          << ",\n";
-      const auto samples = core::to_samples(s.runs);
-      if (samples.size() >= 2) {
-        const core::PowerFit fit = core::fit_power_law(samples);
+      const core::PowerFit fit = core::fit_power_law(core::to_samples(s.runs));
+      if (fit.ok) {
         os << "          \"fitted_exponent\": "
            << json_number(fit.exponent) << ",\n";
         os << "          \"r_squared\": " << json_number(fit.r_squared)
@@ -123,7 +123,30 @@ void write_json(const std::string& path, const ScenarioOptions& opts,
         if (run.build_ms >= 0.0) {
           os << ", \"build_ms\": " << json_number(run.build_ms);
         }
-        os << ", \"valid\": " << (run.valid ? "true" : "false") << "}";
+        // Termination-round distribution: exact tail percentiles (max is
+        // worst_case) plus the log-bucketed histogram — bucket 0 is
+        // T_v == 0, bucket b >= 1 is T_v in [2^(b-1), 2^b - 1].
+        os << ", \"term_p50\": " << run.term.p50
+           << ", \"term_p90\": " << run.term.p90
+           << ", \"term_p99\": " << run.term.p99;
+        os << ", \"term_hist\": [";
+        for (std::size_t b = 0; b < run.term.hist.size(); ++b) {
+          os << (b ? ", " : "") << run.term.hist[b];
+        }
+        os << "]";
+        // Repetition spread (mean is node_averaged itself; at reps == 1
+        // the spread degenerates to stddev 0, min == max == mean).
+        os << ", \"reps\": " << run.reps << ", \"reps_ok\": " << run.reps_ok
+           << ", \"na_stddev\": " << json_number(run.na_stddev)
+           << ", \"na_min\": " << json_number(run.na_min)
+           << ", \"na_max\": " << json_number(run.na_max);
+        os << ", \"status\": \"" << core::to_string(run.status) << "\""
+           << ", \"valid\": " << (run.ok() ? "true" : "false");
+        if (!run.ok() && !run.check_reason.empty()) {
+          os << ", \"check_reason\": \"" << json_escape(run.check_reason)
+             << "\"";
+        }
+        os << "}";
       }
       os << "]\n";
       os << "        }" << (i + 1 < rep.result.series.size() ? "," : "")
@@ -151,20 +174,33 @@ void print_usage() {
       "usage: lclbench [--list] [--run <name|all>] [--n <scale>]\n"
       "                [--reps <r>] [--threads <t>] [--seed <s>]\n"
       "                [--families <csv|all>] [--json [path]]\n"
+      "       lclbench --compare <old.json> <new.json>\n"
+      "                [--tol-exponent <e>] [--tol-avg <rel>]\n"
+      "                [--tol-wall <ratio>] [--allow-missing]\n"
       "\n"
       "  --list          enumerate registered scenarios and exit\n"
       "  --run <name>    run one scenario, or `all` for the full sweep\n"
       "  --n <scale>     instance-size multiplier (default 1.0 = paper "
       "scale)\n"
-      "  --reps <r>      repetitions per measurement point (default 1)\n"
+      "  --reps <r>      repetitions per measurement point (default 1);\n"
+      "                  points carry mean/stddev/min/max and a pooled\n"
+      "                  termination histogram over the ok reps\n"
       "  --threads <t>   sweep worker threads (default: hardware)\n"
       "  --seed <s>      global seed mixed into every job seed (default 0\n"
       "                  = the historical deterministic sweeps)\n"
       "  --families <f>  comma-separated instance families for the\n"
       "                  family-driven scenarios (default/`all` = every\n"
       "                  tree family in the registry)\n"
-      "  --json [path]   write a BENCH_*.json snapshot (default path\n"
-      "                  BENCH_<run>.json); records seed + families\n");
+      "  --json [path]   write a BENCH_*.json snapshot (schema\n"
+      "                  lclbench-v3; default path BENCH_<run>.json)\n"
+      "\n"
+      "  --compare       diff two snapshots and exit nonzero on\n"
+      "                  regression (schema, validity/status, exponent\n"
+      "                  drift > --tol-exponent [0.15], node-averaged\n"
+      "                  drift at matching scales > --tol-avg [off],\n"
+      "                  wall-time ratio > --tol-wall [off]);\n"
+      "                  --allow-missing downgrades missing\n"
+      "                  scenarios/series to warnings\n");
 }
 
 }  // namespace
@@ -194,23 +230,84 @@ std::vector<core::MeasuredRun> ScenarioContext::run_sweep(
     }
   }
   const std::vector<core::MeasuredRun> raw = pool_.run_all(expanded);
+  // Aggregate each point's repetitions. Statistics (mean/stddev/min/max
+  // of node-averaged, pooled T_v histogram, max worst-case) are computed
+  // over the *ok* repetitions only, so a failed rep's zeroed stats never
+  // pollute the averages; the point's status is kOk iff every rep was,
+  // otherwise the first failure is surfaced. build_ms averages over the
+  // reps that actually recorded one, preserving the -1 "not recorded"
+  // sentinel instead of averaging it in as a sample.
   std::vector<core::MeasuredRun> averaged;
   averaged.reserve(jobs.size());
+  // A rep that ran the engine still carries a real measurement even when
+  // it is not ok: truncated reps hold censored lower bounds and
+  // check-failed reps hold the full (rejected) run. build_failed /
+  // exception reps carry nothing.
+  const auto has_measurement = [](const core::MeasuredRun& rep) {
+    return rep.status == core::RunStatus::kOk ||
+           rep.status == core::RunStatus::kCheckFailed ||
+           rep.status == core::RunStatus::kTruncated;
+  };
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    core::MeasuredRun acc = raw[i * static_cast<std::size_t>(reps)];
-    for (int r = 1; r < reps; ++r) {
-      const core::MeasuredRun& rep =
-          raw[i * static_cast<std::size_t>(reps) + static_cast<std::size_t>(r)];
-      acc.node_averaged += rep.node_averaged;
-      acc.build_ms += rep.build_ms;
-      acc.worst_case = std::max(acc.worst_case, rep.worst_case);
-      if (!rep.valid && acc.valid) {
-        acc.valid = false;
+    const std::size_t base = i * static_cast<std::size_t>(reps);
+    core::MeasuredRun acc;
+    acc.scale = raw[base].scale;
+    acc.n = raw[base].n;
+    acc.status = core::RunStatus::kOk;
+    acc.reps = reps;
+    acc.reps_ok = 0;
+    double build_sum = 0.0;
+    int build_count = 0;
+    for (int r = 0; r < reps; ++r) {
+      const core::MeasuredRun& rep = raw[base + static_cast<std::size_t>(r)];
+      if (rep.build_ms >= 0.0) {
+        build_sum += rep.build_ms;
+        ++build_count;
+      }
+      if (rep.ok()) {
+        ++acc.reps_ok;
+      } else if (acc.status == core::RunStatus::kOk) {
+        acc.status = rep.status;
         acc.check_reason = rep.check_reason;
       }
     }
-    acc.node_averaged /= reps;
-    acc.build_ms /= reps;
+    // Statistics pool over the ok reps; with no ok rep at all, fall back
+    // to the measured non-ok reps so e.g. a fully-truncated point keeps
+    // its censored lower bounds (clearly flagged by the non-ok status)
+    // instead of zeroing out. to_samples still ignores non-ok points.
+    const bool use_ok = acc.reps_ok > 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    int contributors = 0;
+    for (int r = 0; r < reps; ++r) {
+      const core::MeasuredRun& rep = raw[base + static_cast<std::size_t>(r)];
+      if (use_ok ? !rep.ok() : !has_measurement(rep)) continue;
+      ++contributors;
+      sum += rep.node_averaged;
+      sum_sq += rep.node_averaged * rep.node_averaged;
+      if (contributors == 1) {
+        acc.n = rep.n;
+        acc.na_min = rep.node_averaged;
+        acc.na_max = rep.node_averaged;
+      } else {
+        acc.na_min = std::min(acc.na_min, rep.node_averaged);
+        acc.na_max = std::max(acc.na_max, rep.node_averaged);
+      }
+      acc.worst_case = std::max(acc.worst_case, rep.worst_case);
+      acc.term.merge(rep.term);
+    }
+    if (contributors > 0) {
+      const double mean = sum / contributors;
+      acc.node_averaged = mean;
+      const double var = sum_sq / contributors - mean * mean;
+      acc.na_stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+      // Pooled percentiles are bucket upper edges; never report a
+      // percentile beyond the observed maximum.
+      acc.term.p50 = std::min(acc.term.p50, acc.worst_case);
+      acc.term.p90 = std::min(acc.term.p90, acc.worst_case);
+      acc.term.p99 = std::min(acc.term.p99, acc.worst_case);
+    }
+    acc.build_ms = build_count > 0 ? build_sum / build_count : -1.0;
     averaged.push_back(std::move(acc));
   }
   return averaged;
@@ -288,6 +385,10 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
   bool want_json = false;
   std::string json_path;
   std::string run_name = forced_scenario;
+  bool compare_mode = false;
+  std::string compare_old;
+  std::string compare_new;
+  CompareOptions compare_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -357,6 +458,23 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
     } else if (arg == "--json") {
       want_json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (arg == "--compare") {
+      compare_mode = true;
+      compare_old = next_value("--compare");
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "lclbench: --compare needs <old.json> <new.json>\n");
+        std::exit(2);
+      }
+      compare_new = argv[++i];
+    } else if (arg == "--tol-exponent") {
+      compare_opts.tol_exponent = parse_double("--tol-exponent");
+    } else if (arg == "--tol-avg") {
+      compare_opts.tol_avg = parse_double("--tol-avg");
+    } else if (arg == "--tol-wall") {
+      compare_opts.tol_wall = parse_double("--tol-wall");
+    } else if (arg == "--allow-missing") {
+      compare_opts.allow_missing = true;
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
@@ -367,6 +485,9 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
     }
   }
 
+  if (compare_mode) {
+    return compare_snapshots(compare_old, compare_new, compare_opts);
+  }
   if (list) {
     for (const Scenario& s : all_scenarios()) {
       std::printf("  %-22s %s\n", s.name.c_str(), s.summary.c_str());

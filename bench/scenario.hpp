@@ -4,7 +4,10 @@
 // *scenario*: a named function from run options to a structured result.
 // The unified `lclbench` CLI lists and runs scenarios, prints the familiar
 // experiment tables, and can serialize every run into a machine-readable
-// BENCH_*.json snapshot so the perf trajectory is tracked across PRs. The
+// BENCH_*.json snapshot (schema lclbench-v3: termination-round
+// distributions, rep spread, and RunStatus per run) so the perf
+// trajectory is tracked across PRs; `lclbench --compare old new` diffs
+// two snapshots and exits nonzero on regression (see compare.hpp). The
 // historical one-binary-per-experiment targets are thin shims over this
 // registry (see shim_main.cpp).
 #pragma once
@@ -73,8 +76,16 @@ class ScenarioContext {
 
   /// Runs one sweep through the pool: each point is expanded into
   /// opts().reps jobs with derived seeds, executed in parallel, and
-  /// averaged back into one MeasuredRun per point (order preserved).
-  /// A point is valid iff all its repetitions were.
+  /// aggregated back into one MeasuredRun per point (order preserved).
+  /// Statistics — mean/stddev/min/max of node-averaged, the pooled
+  /// termination histogram, max worst-case — cover the *ok* repetitions
+  /// only; build_ms averages the reps that recorded one (the -1 "not
+  /// recorded" sentinel is never treated as a sample). A point's status
+  /// is kOk iff every repetition's was, else the first failing rep's
+  /// status and reason. When *no* rep is ok, the statistics fall back to
+  /// the measured non-ok reps (truncated / check-failed), so a
+  /// fully-truncated point still reports its censored lower bounds
+  /// under the non-ok status instead of zeroing out.
   std::vector<core::MeasuredRun> run_sweep(std::vector<core::BatchJob> jobs);
 
   /// Prints the classic experiment table and records the series in the

@@ -20,8 +20,20 @@ BatchJob make_job(std::string label, double scale, std::uint64_t seed,
   job.run = [scale, build = std::move(build),
              make_program = std::move(make_program),
              check = std::move(check), max_rounds](std::uint64_t s) {
+    // Instance construction gets its own failure class: a bad generator
+    // parameterization is a different bug than a solver crash, and the
+    // structured status keeps them apart in every snapshot.
     const auto build_start = std::chrono::steady_clock::now();
-    const graph::Tree tree = build(s);
+    graph::Tree tree;
+    try {
+      tree = build(s);
+    } catch (const std::exception& e) {
+      MeasuredRun r;
+      r.scale = scale;
+      r.status = RunStatus::kBuildFailed;
+      r.check_reason = std::string("instance build threw: ") + e.what();
+      return r;
+    }
     const double build_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - build_start)
@@ -29,15 +41,12 @@ BatchJob make_job(std::string label, double scale, std::uint64_t seed,
     const std::unique_ptr<local::Program> program = make_program(tree);
     local::Engine engine(tree);
     const local::RunStats stats = engine.run(*program, max_rounds);
-    const problems::CheckResult verdict = check(tree, stats);
-    MeasuredRun r;
-    r.scale = scale;
-    r.node_averaged = stats.node_averaged;
-    r.worst_case = stats.worst_case;
-    r.n = stats.n;
+    // A truncated run is measured, not checked: measure_run marks it
+    // kTruncated and records the censored partial stats.
+    const problems::CheckResult verdict =
+        stats.truncated ? problems::CheckResult::pass() : check(tree, stats);
+    MeasuredRun r = measure_run(scale, stats, verdict);
     r.build_ms = build_ms;
-    r.valid = verdict.ok;
-    r.check_reason = verdict.reason;
     return r;
   };
   return job;
@@ -119,11 +128,11 @@ void BatchRunner::worker_loop() {
         r = job.run(job.seed);
       } catch (const std::exception& e) {
         r.scale = job.scale;
-        r.valid = false;
+        r.status = RunStatus::kException;
         r.check_reason = std::string("job threw: ") + e.what();
       } catch (...) {
         r.scale = job.scale;
-        r.valid = false;
+        r.status = RunStatus::kException;
         r.check_reason = "job threw a non-std exception";
       }
       lock.lock();

@@ -54,9 +54,13 @@ using RunChecker = std::function<problems::CheckResult(
     const graph::Tree&, const local::RunStats&)>;
 
 /// Composes the canonical (instance-builder, program-factory, checker)
-/// triple into a `BatchJob`: builds the tree, runs the program to
-/// completion on a fresh `Engine`, checks the outputs, and fills in the
-/// `MeasuredRun` (scale and seed from the job, `valid` from the checker).
+/// triple into a `BatchJob`: builds the tree, runs the program on a
+/// fresh `Engine`, checks the outputs, and fills in the `MeasuredRun`
+/// through `core::measure_run` (termination distribution included).
+/// Failures map onto the `RunStatus` taxonomy: a throwing builder yields
+/// `kBuildFailed`, a run that hits `max_rounds` yields `kTruncated` with
+/// censored partial stats (the checker is skipped), a rejected output
+/// yields `kCheckFailed`.
 [[nodiscard]] BatchJob make_job(
     std::string label, double scale, std::uint64_t seed,
     InstanceBuilder build, ProgramFactory make_program, RunChecker check,
@@ -93,9 +97,10 @@ class BatchRunner {
   }
 
   /// Executes all jobs and returns their measurements in job order. A job
-  /// whose closure throws yields an invalid `MeasuredRun` whose
-  /// `check_reason` carries the exception message (the batch still
-  /// completes). Blocks until every job has finished.
+  /// whose closure throws yields a `MeasuredRun` with
+  /// `status == RunStatus::kException` and the exception message in
+  /// `check_reason` (the batch still completes). Blocks until every job
+  /// has finished.
   std::vector<MeasuredRun> run_all(const std::vector<BatchJob>& jobs);
 
  private:

@@ -1,20 +1,16 @@
 #include "core/fitting.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
 namespace lcl::core {
 
 PowerFit fit_power_law(const std::vector<Sample>& samples) {
-  if (samples.size() < 2) {
-    throw std::invalid_argument("fit_power_law: need >= 2 samples");
-  }
+  PowerFit fit;  // ok == false until every degeneracy check passes
+  if (samples.size() < 2) return fit;
   const double n = static_cast<double>(samples.size());
   double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
   for (const Sample& s : samples) {
-    if (s.scale <= 0 || s.measure <= 0) {
-      throw std::invalid_argument("fit_power_law: positive samples only");
-    }
+    if (s.scale <= 0 || s.measure <= 0) return fit;
     const double x = std::log(s.scale);
     const double y = std::log(s.measure);
     sx += x;
@@ -24,10 +20,7 @@ PowerFit fit_power_law(const std::vector<Sample>& samples) {
     syy += y * y;
   }
   const double denom = n * sxx - sx * sx;
-  if (std::abs(denom) < 1e-12) {
-    throw std::invalid_argument("fit_power_law: degenerate x range");
-  }
-  PowerFit fit;
+  if (std::abs(denom) < 1e-12) return fit;
   fit.exponent = (n * sxy - sx * sy) / denom;
   fit.log_coeff = (sy - fit.exponent * sx) / n;
   const double ss_tot = syy - sy * sy / n;
@@ -39,6 +32,7 @@ PowerFit fit_power_law(const std::vector<Sample>& samples) {
     ss_res += r * r;
   }
   fit.r_squared = ss_tot <= 1e-12 ? 1.0 : 1.0 - ss_res / ss_tot;
+  fit.ok = true;
   return fit;
 }
 

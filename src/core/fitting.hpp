@@ -14,12 +14,20 @@ struct Sample {
 };
 
 /// Least-squares slope/intercept of log(measure) against log(scale).
+/// `ok == false` means the fit is undefined (fewer than two samples, a
+/// non-positive sample, or a degenerate x range) and the other fields
+/// are meaningless; reporting layers must check it instead of assuming a
+/// fit exists.
 struct PowerFit {
+  bool ok = false;
   double exponent = 0.0;   ///< fitted c
   double log_coeff = 0.0;  ///< fitted log-constant
   double r_squared = 0.0;  ///< goodness of fit
 };
 
+/// Fits rounds ~ scale^c. Never throws: degenerate inputs (size < 2,
+/// non-positive samples, identical scales) yield `ok == false`, so a
+/// stray all-equal sweep cannot abort a whole bench run.
 [[nodiscard]] PowerFit fit_power_law(const std::vector<Sample>& samples);
 
 }  // namespace lcl::core

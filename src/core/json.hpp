@@ -1,0 +1,64 @@
+// Minimal recursive-descent JSON reader for the measurement pipeline.
+//
+// The bench layer *writes* snapshots with a hand-rolled serializer
+// (bench/scenario.cpp); this is the matching reader that `lclbench
+// --compare` and the tests use to load BENCH_*.json files back. It is a
+// deliberate subset implementation — no external dependency, no DOM
+// mutation, object keys kept in file order — just enough to parse what
+// the snapshot writer (and ordinary hand-written JSON) produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lcl::core::json {
+
+/// A parsed JSON value. Tagged union over the six JSON types; the
+/// accessors never throw — missing keys / wrong types resolve to the
+/// caller's default, which is exactly what reading snapshots of mixed
+/// schema versions needs.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // file order
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Typed reads with defaults (no throw, no coercion).
+  [[nodiscard]] double number_or(double fallback) const;
+  [[nodiscard]] std::int64_t int_or(std::int64_t fallback) const;
+  [[nodiscard]] bool bool_or(bool fallback) const;
+  [[nodiscard]] const std::string& string_or(
+      const std::string& fallback) const;
+
+  /// Convenience: `find(key)` then the typed read, defaulting when the
+  /// key is missing entirely.
+  [[nodiscard]] double get_number(std::string_view key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       const std::string& fallback) const;
+};
+
+/// Parses a complete JSON document. Throws `std::runtime_error` with a
+/// byte offset on malformed input or trailing garbage.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Reads and parses a file. Throws `std::runtime_error` if the file
+/// cannot be read or does not parse.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace lcl::core::json

@@ -62,7 +62,8 @@ void Engine::flip_and_compact() {
   alive_.resize(w);
 }
 
-RunStats Engine::run(Program& program, std::int64_t max_rounds) {
+RunStats Engine::run(Program& program, std::int64_t max_rounds,
+                     RunProfile* profile) {
   const std::size_t n = static_cast<std::size_t>(tree_.size());
   round_ = 0;
 
@@ -91,13 +92,28 @@ RunStats Engine::run(Program& program, std::int64_t max_rounds) {
     if (terminated_[static_cast<std::size_t>(v)] == 0) alive_.push_back(v);
   }
   commit_publishes();
+  if (profile != nullptr) {
+    profile->alive_per_round.clear();
+    profile->term_count.clear();
+  }
 
+  RunStats stats;
   while (!alive_.empty()) {
+    if (round_ >= max_rounds) {
+      // Structured truncation: keep everything measured so far and censor
+      // the survivors' T_v at the executed round count (a lower bound on
+      // their true termination time). Their outputs stay {-1, -1}.
+      stats.truncated = true;
+      stats.unterminated = static_cast<std::int64_t>(alive_.size());
+      for (const NodeId v : alive_) {
+        term_round_[static_cast<std::size_t>(v)] = round_;
+      }
+      break;
+    }
     ++round_;
-    if (round_ > max_rounds) {
-      throw std::runtime_error("Engine: round limit exceeded with " +
-                               std::to_string(alive_.size()) +
-                               " nodes alive");
+    if (profile != nullptr) {
+      profile->alive_per_round.push_back(
+          static_cast<std::int64_t>(alive_.size()));
     }
     for (const NodeId v : alive_) {
       NodeCtx ctx(*this, v);
@@ -106,7 +122,6 @@ RunStats Engine::run(Program& program, std::int64_t max_rounds) {
     flip_and_compact();
   }
 
-  RunStats stats;
   stats.n = tree_.size();
   stats.rounds = round_;
   stats.termination_round = term_round_;
@@ -121,6 +136,13 @@ RunStats Engine::run(Program& program, std::int64_t max_rounds) {
       stats.n == 0 ? 0.0
                    : static_cast<double>(stats.total_rounds) /
                          static_cast<double>(stats.n);
+  if (profile != nullptr) {
+    profile->term_count.assign(
+        static_cast<std::size_t>(stats.worst_case) + 1, 0);
+    for (const std::int64_t t : term_round_) {
+      ++profile->term_count[static_cast<std::size_t>(t)];
+    }
+  }
   return stats;
 }
 

@@ -141,12 +141,22 @@ class Program {
 };
 
 /// Result of a run.
+///
+/// Truncation. A run that hits `max_rounds` with nodes still alive is not
+/// an error: the engine returns the partial measurement with
+/// `truncated == true`. Every node that never terminated has its T_v
+/// *censored* at `rounds` (the executed round count) — a lower bound on
+/// its true termination time — its `output` stays `{-1, -1}`, and
+/// `unterminated` counts such nodes. For a truncated run `node_averaged`,
+/// `worst_case`, and `total_rounds` are therefore lower bounds.
 struct RunStats {
   std::int64_t n = 0;
-  std::int64_t rounds = 0;  ///< rounds executed until all terminated
+  std::int64_t rounds = 0;  ///< rounds executed
   double node_averaged = 0.0;
   std::int64_t worst_case = 0;
   std::int64_t total_rounds = 0;  ///< sum_v T_v
+  bool truncated = false;         ///< hit `max_rounds` with nodes alive
+  std::int64_t unterminated = 0;  ///< nodes whose T_v is censored
   std::vector<std::int64_t> termination_round;  ///< T_v per node
   std::vector<Output> output;                   ///< fixed outputs per node
 
@@ -164,6 +174,21 @@ struct RunStats {
   }
 };
 
+/// Optional per-run measurement profile, filled by `Engine::run` when the
+/// caller passes one. Collection is O(sum_v T_v) on top of the
+/// simulation: the alive trajectory is one append per executed round
+/// (rounds <= sum T_v once anything survives init) and the histogram is
+/// one counting pass over data the engine already owns.
+struct RunProfile {
+  /// `alive_per_round[r]` = nodes that executed round r+1 (so index 0
+  /// counts round 1). Length == `RunStats::rounds`.
+  std::vector<std::int64_t> alive_per_round;
+  /// `term_count[t]` = number of nodes with T_v == t, matching
+  /// `RunStats::termination_round` exactly — for truncated runs this
+  /// includes the survivors censored at `rounds`.
+  std::vector<std::int64_t> term_count;
+};
+
 /// The synchronous engine. Construct with a graph (frozen by
 /// construction — every `Tree` is), `run` a program; the engine enforces
 /// the synchronous schedule and records termination rounds.
@@ -171,10 +196,14 @@ class Engine {
  public:
   explicit Engine(const Tree& tree) : tree_(tree) {}
 
-  /// Runs `program` to completion (or `max_rounds`). Throws if any node
-  /// fails to terminate within the bound.
+  /// Runs `program` to completion, or until `max_rounds` rounds have
+  /// executed — in which case the returned stats carry
+  /// `truncated == true` and censored partials (see `RunStats`) instead
+  /// of the run being thrown away. Pass `profile` to additionally collect
+  /// the per-round alive trajectory and the T_v histogram.
   RunStats run(Program& program,
-               std::int64_t max_rounds = std::numeric_limits<int>::max());
+               std::int64_t max_rounds = std::numeric_limits<int>::max(),
+               RunProfile* profile = nullptr);
 
   [[nodiscard]] const Tree& tree() const { return tree_; }
 

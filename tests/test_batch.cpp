@@ -55,7 +55,7 @@ std::vector<BatchJob> make_stagger_jobs(int count) {
       r.node_averaged = stats.node_averaged;
       r.worst_case = stats.worst_case;
       r.n = stats.n;
-      r.valid = true;
+      r.status = core::RunStatus::kOk;
       return r;
     };
     jobs.push_back(std::move(job));
@@ -87,7 +87,7 @@ TEST(BatchRunner, SingleVsMultiThreadIdentical) {
           << "job " << i << " with " << threads << " threads";
       EXPECT_EQ(parallel[i].worst_case, serial[i].worst_case);
       EXPECT_EQ(parallel[i].n, serial[i].n);
-      EXPECT_EQ(parallel[i].valid, serial[i].valid);
+      EXPECT_EQ(parallel[i].status, serial[i].status);
     }
   }
 }
@@ -117,10 +117,69 @@ TEST(BatchRunner, ThrowingJobYieldsInvalidRunAndBatchCompletes) {
   jobs.insert(jobs.begin() + 2, std::move(bad));
   const auto results = core::run_batch(jobs, 2);
   ASSERT_EQ(results.size(), 5u);
-  EXPECT_FALSE(results[2].valid);
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_EQ(results[2].status, core::RunStatus::kException);
   EXPECT_NE(results[2].check_reason.find("boom"), std::string::npos);
-  EXPECT_TRUE(results[0].valid);
-  EXPECT_TRUE(results[4].valid);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[4].ok());
+}
+
+/// A run that hits max_rounds round-trips through the batch as a typed
+/// kTruncated record with censored partial stats — the job is a
+/// measurement, not an exception.
+TEST(BatchRunner, TruncatedRunRoundTripsWithStatus) {
+  class AllButOneStall final : public local::Program {
+   public:
+    void on_init(local::NodeCtx&) override {}
+    void on_round(local::NodeCtx& ctx) override {
+      if (ctx.node() == 0 && ctx.round() == 1) ctx.terminate(3);
+    }
+  };
+  bool checker_ran = false;
+  const BatchJob job = core::make_job(
+      "stall", 8.0, 1,
+      [](std::uint64_t) { return graph::make_path(8); },
+      [](const graph::Tree&) { return std::make_unique<AllButOneStall>(); },
+      [&checker_ran](const graph::Tree&, const local::RunStats&) {
+        checker_ran = true;
+        return problems::CheckResult::pass();
+      },
+      /*max_rounds=*/5);
+  const auto results = core::run_batch({job}, 1);
+  ASSERT_EQ(results.size(), 1u);
+  const MeasuredRun& r = results[0];
+  EXPECT_EQ(r.status, core::RunStatus::kTruncated);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(checker_ran) << "partial outputs must not be checked";
+  EXPECT_NE(r.check_reason.find("round limit"), std::string::npos);
+  EXPECT_EQ(r.n, 8);
+  EXPECT_EQ(r.worst_case, 5);  // censored at the bound
+  EXPECT_DOUBLE_EQ(r.node_averaged, (1 + 7 * 5) / 8.0);
+  EXPECT_EQ(r.term.total(), 8);  // censored survivors included
+  EXPECT_GE(r.build_ms, 0.0);
+  EXPECT_EQ(r.reps_ok, 0);
+}
+
+/// A throwing instance builder is its own failure class.
+TEST(BatchRunner, BuildFailureIsTyped) {
+  const BatchJob job = core::make_job(
+      "bad-build", 1.0, 0,
+      [](std::uint64_t) -> graph::Tree {
+        throw std::invalid_argument("bad generator parameters");
+      },
+      [](const graph::Tree&) -> std::unique_ptr<local::Program> {
+        ADD_FAILURE() << "program must not be constructed";
+        return nullptr;
+      },
+      [](const graph::Tree&, const local::RunStats&) {
+        return problems::CheckResult::pass();
+      });
+  const auto results = core::run_batch({job}, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, core::RunStatus::kBuildFailed);
+  EXPECT_NE(results[0].check_reason.find("bad generator parameters"),
+            std::string::npos);
+  EXPECT_LT(results[0].build_ms, 0.0);  // never recorded
 }
 
 TEST(BatchRunner, MakeJobComposesBuilderProgramChecker) {
@@ -145,9 +204,12 @@ TEST(BatchRunner, MakeJobComposesBuilderProgramChecker) {
       });
   const auto results = core::run_batch({job}, 2);
   ASSERT_EQ(results.size(), 1u);
-  EXPECT_TRUE(results[0].valid) << results[0].check_reason;
+  EXPECT_TRUE(results[0].ok()) << results[0].check_reason;
   EXPECT_EQ(results[0].n, 64);
   EXPECT_DOUBLE_EQ(results[0].scale, 64.0);
+  // Every node terminates at init: the distribution is a point mass.
+  EXPECT_EQ(results[0].term.total(), 64);
+  EXPECT_EQ(results[0].term.p99, 0);
 }
 
 TEST(BatchRunner, MakeFamilyJobBuildsThroughTheRegistry) {
@@ -172,7 +234,7 @@ TEST(BatchRunner, MakeFamilyJobBuildsThroughTheRegistry) {
   const auto results = core::run_batch(jobs, 2);
   ASSERT_EQ(results.size(), 4u);
   for (const auto& r : results) {
-    EXPECT_TRUE(r.valid) << r.check_reason;
+    EXPECT_TRUE(r.ok()) << r.check_reason;
     EXPECT_GE(r.n, 100);
     EXPECT_GE(r.build_ms, 0.0);
   }

@@ -1,0 +1,254 @@
+// The bench layer's measurement plumbing: run_sweep aggregation through
+// a real pool, the snapshot reader, and the bench-compare regression
+// gate — self-diff emptiness plus each regression class the gate must
+// catch (schema downgrade, validity, coverage, exponent drift, missing
+// series).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "compare.hpp"
+#include "core/batch.hpp"
+#include "core/json.hpp"
+#include "graph/builders.hpp"
+#include "local/engine.hpp"
+#include "problems/checkers.hpp"
+#include "scenario.hpp"
+
+namespace lcl {
+namespace {
+
+using bench::CompareOptions;
+using bench::compare_snapshots;
+namespace json = core::json;
+
+std::string write_temp(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream f(path);
+  f << body;
+  EXPECT_TRUE(f.good()) << path;
+  return path;
+}
+
+/// A sweep point whose only repetition truncates must keep the censored
+/// partial measurement (flagged by the non-ok status) instead of
+/// serializing zeros — the whole point of structured truncation.
+TEST(RunSweep, FullyTruncatedPointKeepsCensoredStats) {
+  class Stall final : public local::Program {
+   public:
+    void on_init(local::NodeCtx&) override {}
+    void on_round(local::NodeCtx& ctx) override {
+      if (ctx.node() == 0 && ctx.round() == 1) ctx.terminate(0);
+    }
+  };
+  bench::ScenarioOptions opts;
+  opts.reps = 1;
+  core::BatchRunner pool(core::BatchOptions{.threads = 1});
+  bench::ScenarioContext ctx(opts, pool);
+  std::vector<core::BatchJob> jobs;
+  jobs.push_back(core::make_job(
+      "stall", 6.0, 3, [](std::uint64_t) { return graph::make_path(6); },
+      [](const graph::Tree&) { return std::make_unique<Stall>(); },
+      [](const graph::Tree&, const local::RunStats&) {
+        return problems::CheckResult::pass();
+      },
+      /*max_rounds=*/4));
+  const auto points = ctx.run_sweep(std::move(jobs));
+  ASSERT_EQ(points.size(), 1u);
+  const core::MeasuredRun& p = points[0];
+  EXPECT_EQ(p.status, core::RunStatus::kTruncated);
+  EXPECT_EQ(p.reps_ok, 0);
+  EXPECT_EQ(p.n, 6);
+  EXPECT_EQ(p.worst_case, 4);                       // censored bound
+  EXPECT_DOUBLE_EQ(p.node_averaged, (1 + 5 * 4) / 6.0);
+  EXPECT_EQ(p.term.total(), 6);                     // survivors included
+}
+
+TEST(Json, ParsesScalarsContainersAndEscapes) {
+  const json::Value v = json::parse(
+      R"({"a": 1.5, "b": [true, false, null], "s": "x\n\"y\"A",)"
+      R"( "neg": -2e3, "obj": {"k": 7}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.get_number("a", 0.0), 1.5);
+  const json::Value* arr = v.find("b");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->array.size(), 3u);
+  EXPECT_TRUE(arr->array[0].bool_or(false));
+  EXPECT_FALSE(arr->array[1].bool_or(true));
+  EXPECT_TRUE(arr->array[2].is_null());
+  EXPECT_EQ(v.get_string("s", ""), "x\n\"y\"A");
+  EXPECT_DOUBLE_EQ(v.get_number("neg", 0.0), -2000.0);
+  const json::Value* obj = v.find("obj");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->find("k")->int_or(0), 7);
+  // Typed accessors never coerce: a number read as string falls back.
+  EXPECT_EQ(v.find("a")->string_or("fallback"), "fallback");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, IntAccessorGuardsOutOfRangeNumbers) {
+  const json::Value v =
+      json::parse(R"({"huge": 1e300, "neg_huge": -1e300, "ok": -42})");
+  EXPECT_EQ(v.find("huge")->int_or(7), 7);
+  EXPECT_EQ(v.find("neg_huge")->int_or(7), 7);
+  EXPECT_EQ(v.find("ok")->int_or(7), -42);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("{\"a\": 1} trailing"),
+               std::runtime_error);
+  EXPECT_THROW((void)json::parse("{\"a\": 0x10}"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)json::parse_file("/nonexistent/nope.json"),
+               std::runtime_error);
+}
+
+/// A small but schema-faithful v3 snapshot.
+std::string snapshot(const std::string& schema, double exponent,
+                     const std::string& run2_status) {
+  const bool ok2 = run2_status == "ok";
+  return std::string("{\n\"schema\": \"") + schema +
+         "\",\n\"scenarios\": [\n"
+         " {\"name\": \"s1\", \"wall_ms\": 100, \"metrics\": {},\n"
+         "  \"series\": [\n"
+         "   {\"title\": \"t1\", \"fitted_exponent\": " +
+         std::to_string(exponent) +
+         ",\n"
+         "    \"runs\": [\n"
+         "     {\"scale\": 10, \"n\": 10, \"node_averaged\": 2.0, "
+         "\"worst_case\": 4, \"term_p50\": 1, \"term_p90\": 2, "
+         "\"term_p99\": 4, \"term_hist\": [0, 5, 4, 1], \"reps\": 1, "
+         "\"reps_ok\": 1, \"status\": \"ok\", \"valid\": true},\n"
+         "     {\"scale\": 20, \"n\": 20, \"node_averaged\": 3.0, "
+         "\"worst_case\": 8, \"status\": \"" +
+         run2_status + "\", \"valid\": " + (ok2 ? "true" : "false") +
+         "}\n"
+         "    ]}\n"
+         "  ]}\n"
+         "]}\n";
+}
+
+TEST(Compare, SelfDiffIsEmpty) {
+  const std::string path =
+      write_temp("self.json", snapshot("lclbench-v3", 0.5, "ok"));
+  EXPECT_EQ(compare_snapshots(path, path, CompareOptions{}), 0);
+}
+
+TEST(Compare, V2PredecessorToV3IsAccepted) {
+  // Upgrading the schema is not a regression; v2 run records (no
+  // "status" key, only "valid") are understood.
+  const std::string old_path = write_temp(
+      "old_v2.json",
+      "{\"schema\": \"lclbench-v2\", \"scenarios\": ["
+      "{\"name\": \"s1\", \"wall_ms\": 50, \"series\": ["
+      "{\"title\": \"t1\", \"fitted_exponent\": 0.5, \"runs\": ["
+      "{\"scale\": 10, \"node_averaged\": 2.0, \"valid\": true}]}]}]}");
+  const std::string new_path =
+      write_temp("new_v3.json", snapshot("lclbench-v3", 0.51, "ok"));
+  EXPECT_EQ(compare_snapshots(old_path, new_path, CompareOptions{}), 0);
+}
+
+TEST(Compare, SchemaDowngradeIsARegression) {
+  const std::string old_path =
+      write_temp("old_v3.json", snapshot("lclbench-v3", 0.5, "ok"));
+  const std::string new_path =
+      write_temp("new_v2.json", snapshot("lclbench-v2", 0.5, "ok"));
+  EXPECT_EQ(compare_snapshots(old_path, new_path, CompareOptions{}), 1);
+}
+
+TEST(Compare, ValidityRegressionIsCaught) {
+  const std::string old_path =
+      write_temp("valid_old.json", snapshot("lclbench-v3", 0.5, "ok"));
+  // One run degrades to a truncation: a typed, non-ok status.
+  const std::string new_path = write_temp(
+      "valid_new.json", snapshot("lclbench-v3", 0.5, "truncated"));
+  EXPECT_EQ(compare_snapshots(old_path, new_path, CompareOptions{}), 1);
+  // The reverse direction (a failure got fixed) is fine.
+  EXPECT_EQ(compare_snapshots(new_path, old_path, CompareOptions{}), 0);
+}
+
+TEST(Compare, ExponentDriftHonorsTolerance) {
+  const std::string old_path =
+      write_temp("exp_old.json", snapshot("lclbench-v3", 0.50, "ok"));
+  const std::string new_path =
+      write_temp("exp_new.json", snapshot("lclbench-v3", 0.80, "ok"));
+  CompareOptions strict;
+  strict.tol_exponent = 0.1;
+  EXPECT_EQ(compare_snapshots(old_path, new_path, strict), 1);
+  CompareOptions loose;
+  loose.tol_exponent = 0.5;
+  EXPECT_EQ(compare_snapshots(old_path, new_path, loose), 0);
+}
+
+TEST(Compare, NodeAveragedDriftIsOptInAtMatchingScales) {
+  const std::string old_path =
+      write_temp("avg_old.json", snapshot("lclbench-v3", 0.5, "ok"));
+  // Same scales, node_averaged 2.0 -> 3.2 at scale 10 via a hand-edited
+  // copy.
+  std::string body = snapshot("lclbench-v3", 0.5, "ok");
+  const std::string needle = "\"node_averaged\": 2.0";
+  body.replace(body.find(needle), needle.size(),
+               "\"node_averaged\": 3.2");
+  const std::string new_path = write_temp("avg_new.json", body);
+  EXPECT_EQ(compare_snapshots(old_path, new_path, CompareOptions{}), 0)
+      << "disabled by default";
+  CompareOptions gated;
+  gated.tol_avg = 0.25;
+  EXPECT_EQ(compare_snapshots(old_path, new_path, gated), 1);
+  gated.tol_avg = 1.0;
+  EXPECT_EQ(compare_snapshots(old_path, new_path, gated), 0);
+}
+
+TEST(Compare, LostRunCoverageIsARegression) {
+  // A series that silently dropped sweep points must not read as
+  // healthy just because none of its surviving runs failed.
+  const std::string old_path =
+      write_temp("cov_old.json", snapshot("lclbench-v3", 0.5, "ok"));
+  std::string body = snapshot("lclbench-v3", 0.5, "ok");
+  const std::size_t second_run = body.find("{\"scale\": 20");
+  ASSERT_NE(second_run, std::string::npos);
+  // Drop run 2 along with the separating comma.
+  const std::size_t comma = body.rfind(',', second_run);
+  const std::size_t end = body.find('}', second_run);
+  ASSERT_NE(comma, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  body.erase(comma, end - comma + 1);
+  const std::string new_path = write_temp("cov_new.json", body);
+  // Sanity: the mutated snapshot still parses and has one run.
+  EXPECT_EQ(json::parse_file(new_path)
+                .find("scenarios")->array[0]
+                .find("series")->array[0]
+                .find("runs")->array.size(),
+            1u);
+  EXPECT_EQ(compare_snapshots(old_path, new_path, CompareOptions{}), 1);
+}
+
+TEST(Compare, MissingScenarioRespectsAllowMissing) {
+  const std::string old_path =
+      write_temp("miss_old.json", snapshot("lclbench-v3", 0.5, "ok"));
+  const std::string new_path = write_temp(
+      "miss_new.json", "{\"schema\": \"lclbench-v3\", \"scenarios\": []}");
+  EXPECT_EQ(compare_snapshots(old_path, new_path, CompareOptions{}), 1);
+  CompareOptions allow;
+  allow.allow_missing = true;
+  EXPECT_EQ(compare_snapshots(old_path, new_path, allow), 0);
+}
+
+TEST(Compare, UnreadableSnapshotIsUsageError) {
+  const std::string ok_path =
+      write_temp("ok.json", snapshot("lclbench-v3", 0.5, "ok"));
+  EXPECT_EQ(compare_snapshots("/nonexistent/a.json", ok_path,
+                              CompareOptions{}),
+            2);
+  const std::string bad_path = write_temp("bad.json", "{not json");
+  EXPECT_EQ(compare_snapshots(ok_path, bad_path, CompareOptions{}), 2);
+}
+
+}  // namespace
+}  // namespace lcl

@@ -274,18 +274,77 @@ TEST(Engine, EmptyPublishClearsRegister) {
   EXPECT_EQ(stats.rounds, 2);
 }
 
-/// The engine throws when a program stalls.
+/// A stalling program no longer aborts the run: hitting `max_rounds`
+/// yields structured truncation with every survivor's T_v censored at
+/// the bound.
 class StallProgram final : public Program {
  public:
   void on_init(NodeCtx&) override {}
   void on_round(NodeCtx&) override {}
 };
 
-TEST(Engine, RoundLimit) {
+TEST(Engine, RoundLimitTruncates) {
   Tree t = graph::make_path(3);
   Engine engine(t);
   StallProgram p;
-  EXPECT_THROW(engine.run(p, 100), std::runtime_error);
+  const RunStats stats = engine.run(p, 100);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.rounds, 100);
+  EXPECT_EQ(stats.unterminated, 3);
+  EXPECT_EQ(stats.worst_case, 100);
+  EXPECT_DOUBLE_EQ(stats.node_averaged, 100.0);
+  for (const std::int64_t t_v : stats.termination_round) {
+    EXPECT_EQ(t_v, 100);
+  }
+  for (const auto& o : stats.output) EXPECT_EQ(o.primary, -1);
+}
+
+/// Truncation keeps everything measured before the bound: terminated
+/// nodes keep their exact T_v and outputs, only survivors are censored.
+TEST(Engine, TruncationKeepsPartialStats) {
+  Tree t = graph::make_path(4);
+  Engine engine(t);
+  StaggerProgram p;  // node v terminates at round v+1
+  const RunStats stats = engine.run(p, 2);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.rounds, 2);
+  EXPECT_EQ(stats.unterminated, 2);
+  const std::vector<std::int64_t> expected = {1, 2, 2, 2};
+  EXPECT_EQ(stats.termination_round, expected);
+  EXPECT_EQ(stats.output[0].primary, 0);
+  EXPECT_EQ(stats.output[3].primary, -1);
+  EXPECT_DOUBLE_EQ(stats.node_averaged, (1 + 2 + 2 + 2) / 4.0);
+}
+
+/// The optional RunProfile records the alive-count trajectory and the
+/// exact T_v histogram, from data the engine already touches.
+TEST(Engine, ProfileTrajectoryAndHistogram) {
+  Tree t = graph::make_path(4);
+  Engine engine(t);
+  StaggerProgram p;
+  local::RunProfile profile;
+  const RunStats stats = engine.run(
+      p, std::numeric_limits<int>::max(), &profile);
+  EXPECT_EQ(stats.rounds, 4);
+  const std::vector<std::int64_t> alive = {4, 3, 2, 1};
+  EXPECT_EQ(profile.alive_per_round, alive);
+  const std::vector<std::int64_t> hist = {0, 1, 1, 1, 1};
+  EXPECT_EQ(profile.term_count, hist);
+}
+
+/// Under truncation the profile histogram matches termination_round,
+/// censored survivors included.
+TEST(Engine, ProfileHistogramCountsCensoredSurvivors) {
+  Tree t = graph::make_path(4);
+  Engine engine(t);
+  StaggerProgram p;
+  local::RunProfile profile;
+  const RunStats stats = engine.run(p, 2, &profile);
+  EXPECT_TRUE(stats.truncated);
+  const std::vector<std::int64_t> alive = {4, 3};
+  EXPECT_EQ(profile.alive_per_round, alive);
+  const std::vector<std::int64_t> hist = {0, 1, 3};  // T = {1, 2, 2, 2}
+  EXPECT_EQ(profile.term_count, hist);
 }
 
 /// Double termination is a programming error.

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
+#include "core/experiment.hpp"
 #include "core/exponents.hpp"
 #include "core/fitting.hpp"
 
@@ -127,8 +130,57 @@ TEST(Fitting, RecoversExponent) {
     s.push_back({x, 3.0 * std::pow(x, 0.42)});
   }
   const auto fit = core::fit_power_law(s);
+  EXPECT_TRUE(fit.ok);
   EXPECT_NEAR(fit.exponent, 0.42, 1e-9);
   EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+/// Degenerate inputs must yield ok == false, never a throw: a stray
+/// all-equal sweep cannot be allowed to abort a whole bench run.
+TEST(Fitting, DegenerateInputsAreNotOk) {
+  EXPECT_FALSE(core::fit_power_law({}).ok);
+  EXPECT_FALSE(core::fit_power_law({{10.0, 5.0}}).ok);
+  // Identical scales: the log-log x range is degenerate.
+  EXPECT_FALSE(core::fit_power_law({{10.0, 5.0}, {10.0, 7.0}}).ok);
+  // Non-positive samples have no log-log image.
+  EXPECT_FALSE(core::fit_power_law({{10.0, 5.0}, {-20.0, 7.0}}).ok);
+  EXPECT_FALSE(core::fit_power_law({{10.0, 0.0}, {20.0, 7.0}}).ok);
+}
+
+/// A flat (constant-measure) series is a valid zero-exponent fit.
+TEST(Fitting, FlatSeriesFitsExponentZero) {
+  const auto fit = core::fit_power_law({{10.0, 3.0}, {100.0, 3.0},
+                                        {1000.0, 3.0}});
+  EXPECT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.exponent, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+/// lower_bound_lengths saturates its running product instead of
+/// overflowing int64 at extreme (base, alpha) combinations.
+TEST(Experiment, LowerBoundLengthsSaturatesInsteadOfOverflowing) {
+  // Each ell_i ~ (1e7)^3 = 1e21 > int64 max: the lengths and the
+  // product both saturate, and ell_k degrades to 1 instead of UB.
+  const auto ell = core::lower_bound_lengths({3.0, 3.0, 3.0}, 1e7,
+                                             std::int64_t{1} << 40);
+  ASSERT_EQ(ell.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ell[i], std::numeric_limits<std::int64_t>::max());
+  }
+  EXPECT_EQ(ell.back(), 1);
+
+  // Moderate values still behave exactly as before.
+  const auto small = core::lower_bound_lengths({1.0}, 10.0, 1000);
+  ASSERT_EQ(small.size(), 2u);
+  EXPECT_EQ(small[0], 10);
+  EXPECT_EQ(small[1], 100);
+
+  // Overflow via the *product* of individually-representable lengths.
+  const auto prod = core::lower_bound_lengths({2.0, 2.0, 2.0}, 1e6,
+                                              std::int64_t{1} << 50);
+  ASSERT_EQ(prod.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(prod[i], 1000000000000);
+  EXPECT_EQ(prod.back(), 1);
 }
 
 }  // namespace

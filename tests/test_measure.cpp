@@ -1,0 +1,164 @@
+// The measurement summary layer: TermSummary histograms/percentiles
+// (hand-computed distributions on a star and a path), pooling across
+// repetitions, and the measure_run status taxonomy.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "graph/builders.hpp"
+#include "local/engine.hpp"
+#include "problems/checkers.hpp"
+
+namespace lcl {
+namespace {
+
+using core::MeasuredRun;
+using core::RunStatus;
+using core::TermSummary;
+
+/// Leaves terminate in round 1, internal nodes in round 2.
+class LeavesFirst final : public local::Program {
+ public:
+  void on_init(local::NodeCtx&) override {}
+  void on_round(local::NodeCtx& ctx) override {
+    if (ctx.round() == 1 && ctx.degree() == 1) {
+      ctx.terminate(0);
+    } else if (ctx.round() == 2) {
+      ctx.terminate(1);
+    }
+  }
+};
+
+/// Node v terminates at round v+1.
+class Stagger final : public local::Program {
+ public:
+  void on_init(local::NodeCtx&) override {}
+  void on_round(local::NodeCtx& ctx) override {
+    if (ctx.round() == ctx.node() + 1) ctx.terminate(0);
+  }
+};
+
+TEST(TermSummary, StarDistributionIsHandComputable) {
+  // Star with 8 leaves: T_v = 1 for the 8 leaves, 2 for the center.
+  graph::Tree t = graph::make_star(8);
+  local::Engine engine(t);
+  LeavesFirst p;
+  const local::RunStats stats = engine.run(p);
+  const TermSummary s = TermSummary::from_rounds(stats.termination_round);
+  EXPECT_EQ(s.total(), 9);
+  EXPECT_EQ(s.p50, 1);  // 5th of 9 sorted values
+  EXPECT_EQ(s.p90, 2);  // rank ceil(0.9 * 9) = 9 -> the center
+  EXPECT_EQ(s.p99, 2);
+  // Buckets: [0], [1], [2..3] -> 0 / 8 leaves / 1 center.
+  const std::vector<std::int64_t> hist = {0, 8, 1};
+  EXPECT_EQ(s.hist, hist);
+}
+
+TEST(TermSummary, PathDistributionIsHandComputable) {
+  graph::Tree t = graph::make_path(4);
+  local::Engine engine(t);
+  Stagger p;
+  local::RunProfile profile;
+  const local::RunStats stats =
+      engine.run(p, std::numeric_limits<int>::max(), &profile);
+  const TermSummary s = TermSummary::from_rounds(stats.termination_round);
+  EXPECT_EQ(s.total(), 4);
+  EXPECT_EQ(s.p50, 2);  // T = {1, 2, 3, 4}
+  EXPECT_EQ(s.p90, 4);
+  EXPECT_EQ(s.p99, 4);
+  // Buckets: [0], [1], [2..3], [4..7] -> 0 / 1 / 2 / 1.
+  const std::vector<std::int64_t> hist = {0, 1, 2, 1};
+  EXPECT_EQ(s.hist, hist);
+  // from_counts over the engine profile agrees with from_rounds.
+  const TermSummary via_counts = TermSummary::from_counts(profile.term_count);
+  EXPECT_EQ(via_counts.hist, s.hist);
+  EXPECT_EQ(via_counts.p50, s.p50);
+  EXPECT_EQ(via_counts.p90, s.p90);
+  EXPECT_EQ(via_counts.p99, s.p99);
+}
+
+TEST(TermSummary, EmptyAndMergeSemantics) {
+  const TermSummary empty;
+  EXPECT_EQ(empty.total(), 0);
+  EXPECT_TRUE(empty.hist.empty());
+
+  // Merging into an empty summary copies the donor verbatim, keeping its
+  // exact percentiles.
+  TermSummary acc;
+  TermSummary star;
+  star.p50 = 1;
+  star.p90 = 2;
+  star.p99 = 2;
+  star.hist = {0, 8, 1};
+  acc.merge(star);
+  EXPECT_EQ(acc.hist, star.hist);
+  EXPECT_EQ(acc.p50, 1);
+
+  // Merging an empty summary is a no-op.
+  acc.merge(empty);
+  EXPECT_EQ(acc.total(), 9);
+
+  // Pooling two summaries recomputes percentiles at bucket resolution
+  // (upper edge): 16 leaves + 2 centers -> p90 lands in bucket [2..3].
+  acc.merge(star);
+  EXPECT_EQ(acc.total(), 18);
+  const std::vector<std::int64_t> pooled = {0, 16, 2};
+  EXPECT_EQ(acc.hist, pooled);
+  EXPECT_EQ(acc.p50, 1);
+  EXPECT_EQ(acc.p90, 3);  // bucket edge, not the exact 2
+}
+
+TEST(MeasureRun, StatusTaxonomy) {
+  graph::Tree t = graph::make_path(4);
+  local::Engine engine(t);
+  Stagger p;
+  const local::RunStats full = engine.run(p);
+
+  const MeasuredRun ok =
+      core::measure_run(4.0, full, problems::CheckResult::pass());
+  EXPECT_EQ(ok.status, RunStatus::kOk);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.reps, 1);
+  EXPECT_EQ(ok.reps_ok, 1);
+  EXPECT_DOUBLE_EQ(ok.na_min, ok.node_averaged);
+  EXPECT_DOUBLE_EQ(ok.na_max, ok.node_averaged);
+  EXPECT_EQ(ok.term.total(), 4);
+
+  const MeasuredRun rejected =
+      core::measure_run(4.0, full, problems::CheckResult::fail("bad color"));
+  EXPECT_EQ(rejected.status, RunStatus::kCheckFailed);
+  EXPECT_EQ(rejected.check_reason, "bad color");
+  EXPECT_EQ(rejected.reps_ok, 0);
+
+  local::Engine engine2(t);
+  Stagger p2;
+  const local::RunStats truncated = engine2.run(p2, 2);
+  // Truncation wins over the checker verdict: partial outputs are not
+  // checkable.
+  const MeasuredRun trunc =
+      core::measure_run(4.0, truncated, problems::CheckResult::pass());
+  EXPECT_EQ(trunc.status, RunStatus::kTruncated);
+  EXPECT_NE(trunc.check_reason.find("round limit 2"), std::string::npos);
+  EXPECT_EQ(trunc.term.total(), 4);  // censored survivors included
+  EXPECT_EQ(trunc.worst_case, 2);
+}
+
+TEST(MeasureRun, DefaultConstructedRecordIsAFailure) {
+  // A record nobody filled in must never read as a valid measurement.
+  const MeasuredRun empty;
+  EXPECT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status, RunStatus::kException);
+}
+
+TEST(RunStatusNames, AreStableJsonTokens) {
+  EXPECT_STREQ(core::to_string(RunStatus::kOk), "ok");
+  EXPECT_STREQ(core::to_string(RunStatus::kCheckFailed), "check_failed");
+  EXPECT_STREQ(core::to_string(RunStatus::kTruncated), "truncated");
+  EXPECT_STREQ(core::to_string(RunStatus::kBuildFailed), "build_failed");
+  EXPECT_STREQ(core::to_string(RunStatus::kException), "exception");
+}
+
+}  // namespace
+}  // namespace lcl

@@ -17,13 +17,12 @@
 #include <cmath>
 #include <cstdio>
 
-#include "algo/apoly.hpp"
 #include "algo/fast_decomp.hpp"
 #include "algo/generic_hier.hpp"
+#include "algo/registry.hpp"
 #include "core/experiment.hpp"
 #include "core/exponents.hpp"
 #include "graph/builders.hpp"
-#include "problems/checkers.hpp"
 #include "problems/labels.hpp"
 #include "scenario.hpp"
 
@@ -44,22 +43,21 @@ void ablation_weight_handling(bench::ScenarioContext& ctx) {
         alphas, static_cast<double>(n), n);
     auto inst = graph::make_weighted_construction(ell, 5);
     graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, 3);
-    algo::ApolyOptions o;
-    o.k = 2;
-    o.d = 2;
-    o.gammas.assign(1, std::max<std::int64_t>(2, inst.skeleton_lengths[0]));
-    const auto smart = algo::run_apoly(inst.tree, o);
-    o.naive_all_copy = true;
-    const auto naive = algo::run_apoly(inst.tree, o);
-    const auto cs = problems::check_weighted(
-        inst.tree, 2, 2, problems::Variant::kTwoHalf, smart.output);
-    const auto cn = problems::check_weighted(
-        inst.tree, 2, 2, problems::Variant::kTwoHalf, naive.output);
+    const algo::SolverSpec& spec = algo::solver("apoly");
+    algo::SolverConfig cfg;
+    cfg.set("k", 2);
+    cfg.set("d", 2);
+    cfg.set("gammas", std::vector<std::int64_t>{std::max<std::int64_t>(
+                          2, inst.skeleton_lengths[0])});
+    const auto smart = algo::run_registered(spec, inst.tree, cfg);
+    cfg.set("naive_all_copy", 1);
+    const auto naive = algo::run_registered(spec, inst.tree, cfg);
     std::printf("  %10d %16.2f %16.2f %s%s\n", inst.tree.size(),
-                smart.node_averaged, naive.node_averaged,
-                cs.ok ? "" : "SMART-INVALID ", cn.ok ? "" : "NAIVE-INVALID");
-    smart_last = smart.node_averaged;
-    naive_last = naive.node_averaged;
+                smart.stats.node_averaged, naive.stats.node_averaged,
+                smart.verdict.ok ? "" : "SMART-INVALID ",
+                naive.verdict.ok ? "" : "NAIVE-INVALID");
+    smart_last = smart.stats.node_averaged;
+    naive_last = naive.stats.node_averaged;
   }
   ctx.metric("weight_naive_over_smart", naive_last / smart_last);
   std::printf("  -> the d-free machinery keeps most weight from waiting; "
@@ -82,11 +80,12 @@ void ablation_gamma_profile(bench::ScenarioContext& ctx) {
                                        std::max<std::int64_t>(2, n / gamma1)};
       auto inst = graph::make_hierarchical_lower_bound(ell);
       graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, 5);
-      algo::GenericOptions opt;
-      opt.variant = problems::Variant::kTwoHalf;
-      opt.k = 2;
-      opt.gammas.assign(1, gamma1);
-      return algo::run_generic(inst.tree, opt).node_averaged;
+      algo::SolverConfig cfg;
+      cfg.set("k", 2);
+      cfg.set("gammas", std::vector<std::int64_t>{gamma1});
+      return algo::run_registered(algo::solver("generic_hier_25"),
+                                  inst.tree, cfg)
+          .stats.node_averaged;
     };
     const std::int64_t g_geo = algo::gammas_for_25(n, 2)[0];
     const std::int64_t g_uni = std::max<std::int64_t>(

@@ -3,19 +3,20 @@
 // every bounded-degree tree admits) across the named instance families
 // selected by --families. Guards the family registry end to end: every
 // family builds through the per-thread arena, runs on the engine's native
-// CSR, and is certified by the independent decomposition validator, with
-// per-family build times recorded for the allocation-cost trajectory.
-#include <algorithm>
+// CSR, and is certified end to end, with per-family build times recorded
+// for the allocation-cost trajectory. The solver itself is resolved from
+// the algorithm registry ("rake_compress"), whose spec carries the
+// decode-and-validate certifier; `core::make_solver_job` is the whole
+// wiring. The full algorithm x family cross-product lives in the
+// solver_matrix scenario.
 #include <bit>
 #include <cstdint>
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "algo/decomp_program.hpp"
+#include "algo/registry.hpp"
 #include "core/batch.hpp"
-#include "decomp/rake_compress.hpp"
 #include "graph/families.hpp"
 #include "scenario.hpp"
 
@@ -25,31 +26,6 @@ namespace {
 
 constexpr int kGamma = 1;
 constexpr int kEll = 4;
-
-/// Decodes the engine outputs back into a Decomposition and validates it
-/// (relaxed variant: the distributed program compresses whole chains).
-problems::CheckResult check_distributed_decomposition(
-    const graph::Tree& tree, const local::RunStats& stats) {
-  decomp::Decomposition d;
-  d.gamma = kGamma;
-  d.ell = kEll;
-  d.relaxed = true;
-  d.assignment.resize(static_cast<std::size_t>(tree.size()));
-  d.assign_step.resize(static_cast<std::size_t>(tree.size()));
-  int max_layer = 0;
-  for (graph::NodeId v = 0; v < tree.size(); ++v) {
-    const auto a = algo::decode_layer(
-        stats.output[static_cast<std::size_t>(v)].primary);
-    d.assignment[static_cast<std::size_t>(v)] = a;
-    d.assign_step[static_cast<std::size_t>(v)] = static_cast<int>(
-        stats.termination_round[static_cast<std::size_t>(v)]);
-    max_layer = std::max(max_layer, a.layer);
-  }
-  d.num_layers = max_layer;
-  const std::string err = decomp::validate_decomposition(tree, d);
-  return err.empty() ? problems::CheckResult::pass()
-                     : problems::CheckResult::fail(err);
-}
 
 }  // namespace
 
@@ -65,15 +41,17 @@ void run_family_sweep(ScenarioContext& ctx) {
 
   int families_valid = 0;
   for (const std::string& family : families) {
-    // Per-family base seed from a stable name hash (FNV-1a), so a
-    // family's instances are identical no matter which other families
-    // were selected alongside it — single-family reruns reproduce the
-    // full sweep exactly.
-    std::uint64_t family_seed = 1469598103934665603ULL;
-    for (const char c : family) {
-      family_seed ^= static_cast<unsigned char>(c);
-      family_seed *= 1099511628211ULL;
-    }
+    // Per-family base seed from the stable name hash, so a family's
+    // instances are identical no matter which other families were
+    // selected alongside it — single-family reruns reproduce the full
+    // sweep exactly.
+    const std::uint64_t family_seed = core::stable_name_seed(family);
+    // The solver, its options, and the decode-and-validate certifier all
+    // come from the algorithm registry now — this scenario only names
+    // them.
+    algo::SolverConfig decomp_cfg;
+    decomp_cfg.set("gamma", kGamma);
+    decomp_cfg.set("ell", kEll);
     std::vector<core::BatchJob> jobs;
     for (const std::int64_t base : {2000, 6000, 18000, 54000}) {
       const auto n = static_cast<graph::NodeId>(ctx.scaled(base, 8));
@@ -83,15 +61,11 @@ void run_family_sweep(ScenarioContext& ctx) {
       const std::int64_t max_rounds =
           (2 * kGamma + kEll + 3) *
           (4 * std::bit_width(static_cast<std::uint64_t>(n)) + 16);
-      jobs.push_back(core::make_family_job(
+      jobs.push_back(core::make_solver_job(
           family + "-" + std::to_string(n), static_cast<double>(n),
-          /*seed=*/family_seed + static_cast<std::uint64_t>(n), family,
-          n, /*delta=*/0,
-          [](const graph::Tree& t) {
-            return std::make_unique<algo::DecompositionProgram>(t, kGamma,
-                                                                kEll);
-          },
-          check_distributed_decomposition, max_rounds));
+          /*seed=*/family_seed + static_cast<std::uint64_t>(n),
+          "rake_compress", decomp_cfg, family, n, /*delta=*/0,
+          max_rounds));
     }
     auto runs = ctx.run_sweep(std::move(jobs));
     bool all_valid = true;

@@ -4,12 +4,11 @@
 #include <cmath>
 #include <cstdio>
 
-#include "algo/generic_hier.hpp"
-#include "algo/weight_aug.hpp"
+#include "algo/registry.hpp"
 #include "core/exponents.hpp"
 #include "core/landscape.hpp"
 #include "graph/builders.hpp"
-#include "problems/checkers.hpp"
+#include "problems/labels.hpp"
 #include "scenario.hpp"
 
 namespace {
@@ -34,14 +33,17 @@ void print_table(bool after) {
 double measure_path(problems::Variant variant, graph::NodeId n) {
   graph::Tree t = graph::make_path(n);
   graph::assign_ids(t, graph::IdScheme::kShuffled, 1);
-  algo::GenericOptions o;
-  o.variant = variant;
-  o.k = 1;
-  const auto stats = algo::run_generic(t, o);
-  const auto check = problems::check_hierarchical_coloring(
-      t, 1, variant, stats.primaries());
-  if (!check.ok) std::printf("  !! invalid: %s\n", check.reason.c_str());
-  return stats.node_averaged;
+  algo::SolverConfig cfg;
+  cfg.set("k", 1);
+  const auto run = algo::run_registered(
+      algo::solver(variant == problems::Variant::kTwoHalf
+                       ? "generic_hier_25"
+                       : "generic_hier_35"),
+      t, cfg);
+  if (!run.verdict.ok) {
+    std::printf("  !! invalid: %s\n", run.verdict.reason.c_str());
+  }
+  return run.stats.node_averaged;
 }
 
 }  // namespace
@@ -82,19 +84,17 @@ void run_fig2_landscape(ScenarioContext& ctx) {
     std::vector<std::int64_t> ell = {64, 64};
     auto inst = graph::make_weighted_construction(ell, 5);
     graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, 2);
-    algo::WeightAugOptions o;
-    o.k = 2;
-    problems::OrientationMap orient;
-    const auto stats = algo::run_weight_aug(inst.tree, o, &orient);
-    const auto check = problems::check_weight_augmented(
-        inst.tree, 2, stats.output, orient);
+    algo::SolverConfig cfg;
+    cfg.set("k", 2);
+    const auto run =
+        algo::run_registered(algo::solver("weight_aug"), inst.tree, cfg);
     std::printf("  Theta(sqrt n) row  — weight-augmented 2.5: n=%lld: %8.1f"
                 "  (sqrt(n)=%.1f)  valid=%s\n",
                 static_cast<long long>(inst.tree.size()),
-                stats.node_averaged,
+                run.stats.node_averaged,
                 std::sqrt(static_cast<double>(inst.tree.size())),
-                check.ok ? "yes" : check.reason.c_str());
-    ctx.metric("sqrt_witness_node_avg", stats.node_averaged);
+                run.verdict.ok ? "yes" : run.verdict.reason.c_str());
+    ctx.metric("sqrt_witness_node_avg", run.stats.node_averaged);
   }
 
   std::printf("\nDense-region exponents realizable by Pi^{2.5} "

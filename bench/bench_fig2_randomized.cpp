@@ -11,12 +11,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "algo/generic_hier.hpp"
-#include "algo/randomized.hpp"
+#include "algo/registry.hpp"
 #include "core/experiment.hpp"
 #include "graph/builders.hpp"
-#include "problems/checkers.hpp"
-#include "problems/labels.hpp"
 #include "scenario.hpp"
 
 namespace lcl::bench {
@@ -34,21 +31,21 @@ void run_fig2_randomized(ScenarioContext& ctx) {
     graph::Tree t = graph::make_path(n);
     graph::assign_ids(t, graph::IdScheme::kShuffled,
                       static_cast<std::uint64_t>(n));
-    const auto rnd = algo::run_random_coloring(t, 3, 77);
-    algo::GenericOptions o;
-    o.variant = problems::Variant::kThreeHalf;
-    o.k = 1;
-    const auto det = algo::run_generic(t, o);
-    // The randomized program outputs color indices 0..2; map them onto
-    // the checker's {R, G, Y} alphabet.
-    std::vector<int> mapped = rnd.primaries();
-    for (int& c : mapped) c += static_cast<int>(problems::Color::kR);
-    const auto check = problems::check_three_coloring(t, mapped);
-    std::printf("  %10d %12.2f %14lld %16.2f %s\n", n, rnd.node_averaged,
-                static_cast<long long>(rnd.worst_case),
-                det.node_averaged, check.ok ? "" : "INVALID");
-    if (rnd_first == 0.0) rnd_first = rnd.node_averaged;
-    rnd_last = rnd.node_averaged;
+    algo::SolverConfig rnd_cfg;
+    rnd_cfg.set("colors", 3);
+    rnd_cfg.seed = 77;
+    const auto rnd =
+        algo::run_registered(algo::solver("random_coloring"), t, rnd_cfg);
+    algo::SolverConfig det_cfg;
+    det_cfg.set("k", 1);
+    const auto det = algo::run_registered(
+        algo::solver("generic_hier_35"), t, det_cfg);
+    std::printf("  %10d %12.2f %14lld %16.2f %s\n", n,
+                rnd.stats.node_averaged,
+                static_cast<long long>(rnd.stats.worst_case),
+                det.stats.node_averaged, rnd.verdict.ok ? "" : "INVALID");
+    if (rnd_first == 0.0) rnd_first = rnd.stats.node_averaged;
+    rnd_last = rnd.stats.node_averaged;
   }
   ctx.metric("randomized_growth_ratio", rnd_last / rnd_first);
   std::printf("  -> flat in n (O(1)); deterministic pays the log* "
@@ -61,12 +58,13 @@ void run_fig2_randomized(ScenarioContext& ctx) {
     const auto n = static_cast<graph::NodeId>(ctx.scaled(base));
     graph::Tree t = graph::make_path(n);
     graph::assign_ids(t, graph::IdScheme::kShuffled, 3);
-    algo::GenericOptions o;
-    o.variant = problems::Variant::kTwoHalf;
-    o.k = 1;
-    const auto stats = algo::run_generic(t, o);
-    std::printf("  n=%6d: node-avg %10.1f\n", n, stats.node_averaged);
-    samples.push_back({static_cast<double>(n), stats.node_averaged});
+    algo::SolverConfig cfg;
+    cfg.set("k", 1);
+    const auto run =
+        algo::run_registered(algo::solver("generic_hier_25"), t, cfg);
+    std::printf("  n=%6d: node-avg %10.1f\n", n,
+                run.stats.node_averaged);
+    samples.push_back({static_cast<double>(n), run.stats.node_averaged});
   }
   const auto fit = core::fit_power_law(samples);
   if (fit.ok) {

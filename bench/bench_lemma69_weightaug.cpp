@@ -5,10 +5,9 @@
 #include <cmath>
 #include <cstdio>
 
-#include "algo/weight_aug.hpp"
+#include "algo/registry.hpp"
 #include "core/experiment.hpp"
 #include "graph/builders.hpp"
-#include "problems/checkers.hpp"
 #include "scenario.hpp"
 
 namespace {
@@ -25,15 +24,15 @@ core::MeasuredRun run_one(int k, std::int64_t target_n,
   auto inst = graph::make_weighted_construction(ell, 5);
   graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, seed);
 
-  algo::WeightAugOptions o;
-  o.k = k;
-  problems::OrientationMap orient;
-  const auto stats = algo::run_weight_aug(inst.tree, o, &orient);
-  const auto check = problems::check_weight_augmented(
-      inst.tree, k, stats.output, orient);
-
-  return core::measure_run(static_cast<double>(inst.tree.size()), stats,
-                           check);
+  // The orientation map the checker needs stays solver-side; the spec's
+  // certify recovers it from the program, so the registry path needs no
+  // out-parameter plumbing.
+  algo::SolverConfig cfg;
+  cfg.set("k", k);
+  const auto run =
+      algo::run_registered(algo::solver("weight_aug"), inst.tree, cfg);
+  return core::measure_run(static_cast<double>(inst.tree.size()),
+                           run.stats, run.verdict);
 }
 
 }  // namespace

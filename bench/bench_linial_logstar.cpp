@@ -7,10 +7,9 @@
 #include <cstdio>
 
 #include "algo/cole_vishkin.hpp"
-#include "algo/generic_hier.hpp"
+#include "algo/registry.hpp"
 #include "graph/builders.hpp"
 #include "local/logstar.hpp"
-#include "problems/checkers.hpp"
 #include "scenario.hpp"
 
 namespace lcl::bench {
@@ -18,6 +17,7 @@ namespace lcl::bench {
 void run_linial_logstar(ScenarioContext& ctx) {
   std::printf("== E12: Linial / Corollary 17 — 3-coloring paths in "
               "Theta(log* n) ==\n\n");
+  const algo::SolverSpec& spec35 = algo::solver("generic_hier_35");
 
   std::printf("Real Cole-Vishkin (no pad): rounds vs n\n");
   std::printf("  %10s %10s %12s %12s %10s\n", "n", "log*(n)",
@@ -28,18 +28,15 @@ void run_linial_logstar(ScenarioContext& ctx) {
     graph::Tree t = graph::make_path(n);
     graph::assign_ids(t, graph::IdScheme::kShuffled,
                       static_cast<std::uint64_t>(n));
-    algo::GenericOptions o;
-    o.variant = problems::Variant::kThreeHalf;
-    o.k = 1;
-    const auto stats = algo::run_generic(t, o);
-    const auto check =
-        problems::check_three_coloring(t, stats.primaries());
-    cv_node_avg = stats.node_averaged;
+    algo::SolverConfig cfg;
+    cfg.set("k", 1);
+    const auto run = algo::run_registered(spec35, t, cfg);
+    cv_node_avg = run.stats.node_averaged;
     std::printf("  %10d %10d %12zu %12lld %10.2f %s\n", n,
                 local::log_star(static_cast<std::uint64_t>(n)),
                 algo::cv_schedule(n).size(),
-                static_cast<long long>(stats.worst_case),
-                stats.node_averaged, check.ok ? "" : "INVALID");
+                static_cast<long long>(run.stats.worst_case),
+                run.stats.node_averaged, run.verdict.ok ? "" : "INVALID");
   }
   ctx.metric("cv_node_avg_largest_n", cv_node_avg);
 
@@ -51,27 +48,26 @@ void run_linial_logstar(ScenarioContext& ctx) {
     graph::Tree t =
         graph::make_path(static_cast<graph::NodeId>(ctx.scaled(20000)));
     graph::assign_ids(t, graph::IdScheme::kShuffled, 9);
-    algo::GenericOptions o;
-    o.variant = problems::Variant::kThreeHalf;
-    o.k = 1;
-    o.symmetry_pad = lambda;
-    const auto stats = algo::run_generic(t, o);
+    algo::SolverConfig cfg;
+    cfg.set("k", 1);
+    cfg.set("symmetry_pad", lambda);
+    const auto run = algo::run_registered(spec35, t, cfg);
     std::printf("  %10lld %12lld %10.2f\n",
                 static_cast<long long>(lambda),
-                static_cast<long long>(stats.worst_case),
-                stats.node_averaged);
+                static_cast<long long>(run.stats.worst_case),
+                run.stats.node_averaged);
   }
 
   std::printf("\n2-coloring contrast (the Theta(n) substrate):\n");
   for (const std::int64_t base : {1000, 4000, 16000}) {
     const auto n = static_cast<graph::NodeId>(ctx.scaled(base));
     graph::Tree t = graph::make_path(n);
-    algo::GenericOptions o;
-    o.variant = problems::Variant::kTwoHalf;
-    o.k = 1;
-    const auto stats = algo::run_generic(t, o);
+    algo::SolverConfig cfg;
+    cfg.set("k", 1);
+    const auto run =
+        algo::run_registered(algo::solver("generic_hier_25"), t, cfg);
     std::printf("  n=%6d: node-avg %10.1f (n/4 = %.1f)\n", n,
-                stats.node_averaged, n / 4.0);
+                run.stats.node_averaged, n / 4.0);
   }
 }
 

@@ -12,10 +12,9 @@
 #include <cstdio>
 
 #include "algo/generic_hier.hpp"
+#include "algo/registry.hpp"
 #include "core/experiment.hpp"
 #include "graph/builders.hpp"
-#include "problems/checkers.hpp"
-#include "problems/levels.hpp"
 #include "scenario.hpp"
 
 namespace {
@@ -34,16 +33,14 @@ core::MeasuredRun run_35(int k, std::int64_t lambda, std::int64_t target_n,
   auto inst = graph::make_hierarchical_lower_bound(ell);
   graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, seed);
 
-  algo::GenericOptions o;
-  o.variant = problems::Variant::kThreeHalf;
-  o.k = k;
-  o.gammas = algo::gammas_for_35(lambda, k);
-  o.symmetry_pad = lambda;
-  const auto stats = algo::run_generic(inst.tree, o);
-  const auto check = problems::check_hierarchical_coloring(
-      inst.tree, k, problems::Variant::kThreeHalf, stats.primaries());
-
-  return core::measure_run(static_cast<double>(lambda), stats, check);
+  algo::SolverConfig cfg;
+  cfg.set("k", k);
+  cfg.set("gammas", algo::gammas_for_35(lambda, k));
+  cfg.set("symmetry_pad", lambda);
+  const auto run =
+      algo::run_registered(algo::solver("generic_hier_35"), inst.tree, cfg);
+  return core::measure_run(static_cast<double>(lambda), run.stats,
+                           run.verdict);
 }
 
 core::MeasuredRun run_25(int k, std::int64_t target_n, std::uint64_t seed) {
@@ -57,16 +54,13 @@ core::MeasuredRun run_25(int k, std::int64_t target_n, std::uint64_t seed) {
   auto inst = graph::make_hierarchical_lower_bound(ell);
   graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, seed);
 
-  algo::GenericOptions o;
-  o.variant = problems::Variant::kTwoHalf;
-  o.k = k;
-  o.gammas = algo::gammas_for_25(target_n, k);
-  const auto stats = algo::run_generic(inst.tree, o);
-  const auto check = problems::check_hierarchical_coloring(
-      inst.tree, k, problems::Variant::kTwoHalf, stats.primaries());
-
-  return core::measure_run(static_cast<double>(inst.tree.size()), stats,
-                           check);
+  algo::SolverConfig cfg;
+  cfg.set("k", k);
+  cfg.set("gammas", algo::gammas_for_25(target_n, k));
+  const auto run =
+      algo::run_registered(algo::solver("generic_hier_25"), inst.tree, cfg);
+  return core::measure_run(static_cast<double>(inst.tree.size()),
+                           run.stats, run.verdict);
 }
 
 }  // namespace

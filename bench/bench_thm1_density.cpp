@@ -5,12 +5,10 @@
 // two of them empirically with A_poly.
 #include <cstdio>
 
-#include "algo/apoly.hpp"
+#include "algo/registry.hpp"
 #include "core/experiment.hpp"
 #include "core/exponents.hpp"
 #include "graph/builders.hpp"
-#include "problems/checkers.hpp"
-#include "problems/labels.hpp"
 #include "scenario.hpp"
 
 namespace {
@@ -25,19 +23,20 @@ core::MeasuredRun spot_run(const core::DensityChoice& choice,
       core::lower_bound_lengths(alphas, static_cast<double>(n), n);
   auto inst = graph::make_weighted_construction(ell, choice.params.delta);
   graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, seed);
-  algo::ApolyOptions o;
-  o.k = choice.k;
-  o.d = choice.params.d;
+  algo::SolverConfig cfg;
+  cfg.set("k", choice.k);
+  cfg.set("d", choice.params.d);
+  std::vector<std::int64_t> gammas;
   for (int i = 0; i + 1 < choice.k; ++i) {
-    o.gammas.push_back(std::max<std::int64_t>(
+    gammas.push_back(std::max<std::int64_t>(
         2, inst.skeleton_lengths[static_cast<std::size_t>(i)]));
   }
-  const auto stats = algo::run_apoly(inst.tree, o);
-  const auto check = problems::check_weighted(
-      inst.tree, choice.k, choice.params.d,
-      problems::Variant::kTwoHalf, stats.output);
+  cfg.set("gammas", std::move(gammas));
+  const auto run =
+      algo::run_registered(algo::solver("apoly"), inst.tree, cfg);
   return core::measure_run_weight_adjusted(
-      static_cast<double>(inst.tree.size()), inst.tree, stats, check);
+      static_cast<double>(inst.tree.size()), inst.tree, run.stats,
+      run.verdict);
 }
 
 void spot_check(lcl::bench::ScenarioContext& ctx,

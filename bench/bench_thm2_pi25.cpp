@@ -7,12 +7,10 @@
 // Definition-22 checker; the measured node-average is fitted against n.
 #include <cstdio>
 
-#include "algo/apoly.hpp"
+#include "algo/registry.hpp"
 #include "core/experiment.hpp"
 #include "core/exponents.hpp"
 #include "graph/builders.hpp"
-#include "problems/checkers.hpp"
-#include "problems/labels.hpp"
 #include "scenario.hpp"
 
 namespace {
@@ -28,22 +26,23 @@ core::MeasuredRun run_one(int delta, int d, int k, std::int64_t target_n,
   auto inst = graph::make_weighted_construction(ell, delta);
   graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, seed);
 
-  algo::ApolyOptions o;
-  o.k = k;
-  o.d = d;
+  algo::SolverConfig cfg;
+  cfg.set("k", k);
+  cfg.set("d", d);
   // gamma_i = skeleton length ell'_i: level-i paths sit exactly at the
   // Decline threshold — the regime of the Theorem-3 lower bound, where
   // the weight waits on the level-k coloring.
+  std::vector<std::int64_t> gammas;
   for (int i = 0; i + 1 < k; ++i) {
-    o.gammas.push_back(std::max<std::int64_t>(
+    gammas.push_back(std::max<std::int64_t>(
         2, inst.skeleton_lengths[static_cast<std::size_t>(i)]));
   }
-  const auto stats = algo::run_apoly(inst.tree, o);
-  const auto check = problems::check_weighted(
-      inst.tree, k, d, problems::Variant::kTwoHalf, stats.output);
-
+  cfg.set("gammas", std::move(gammas));
+  const auto run =
+      algo::run_registered(algo::solver("apoly"), inst.tree, cfg);
   return core::measure_run_weight_adjusted(
-      static_cast<double>(inst.tree.size()), inst.tree, stats, check);
+      static_cast<double>(inst.tree.size()), inst.tree, run.stats,
+      run.verdict);
 }
 
 }  // namespace

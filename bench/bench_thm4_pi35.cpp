@@ -4,12 +4,10 @@
 // virtual log* (Lambda) must land in (or near) that band.
 #include <cstdio>
 
-#include "algo/pi35.hpp"
+#include "algo/registry.hpp"
 #include "core/experiment.hpp"
 #include "core/exponents.hpp"
 #include "graph/builders.hpp"
-#include "problems/checkers.hpp"
-#include "problems/labels.hpp"
 #include "scenario.hpp"
 
 namespace {
@@ -25,21 +23,22 @@ core::MeasuredRun run_one(int delta, int d, int k, std::int64_t lambda,
   auto inst = graph::make_weighted_construction(ell, delta);
   graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, seed);
 
-  algo::Pi35Options o;
-  o.k = k;
-  o.d = d;
+  algo::SolverConfig cfg;
+  cfg.set("k", k);
+  cfg.set("d", d);
   // Decline-regime gammas (see bench_thm2_pi25).
+  std::vector<std::int64_t> gammas;
   for (int i = 0; i + 1 < k; ++i) {
-    o.gammas.push_back(std::max<std::int64_t>(
+    gammas.push_back(std::max<std::int64_t>(
         2, inst.skeleton_lengths[static_cast<std::size_t>(i)]));
   }
-  o.symmetry_pad = lambda;
-  const auto stats = algo::run_pi35(inst.tree, o);
-  const auto check = problems::check_weighted(
-      inst.tree, k, d, problems::Variant::kThreeHalf, stats.output);
-
+  cfg.set("gammas", std::move(gammas));
+  cfg.set("symmetry_pad", lambda);
+  const auto run =
+      algo::run_registered(algo::solver("pi35"), inst.tree, cfg);
   return core::measure_run_weight_adjusted(static_cast<double>(lambda),
-                                           inst.tree, stats, check);
+                                           inst.tree, run.stats,
+                                           run.verdict);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "algo/registry.hpp"
 #include "compare.hpp"
 #include "graph/families.hpp"
 
@@ -76,6 +77,20 @@ void write_json(const std::string& path, const ScenarioOptions& opts,
   os << "  \"families\": [";
   for (std::size_t i = 0; i < opts.families.size(); ++i) {
     os << (i ? ", " : "") << "\"" << json_escape(opts.families[i])
+       << "\"";
+  }
+  os << "],\n";
+  // Algorithm-axis selection (additive to schema lclbench-v3): the
+  // solvers swept by algorithm-driven scenarios and any --algo-opt
+  // overrides, so snapshots record the full cross-product provenance.
+  os << "  \"algos\": [";
+  for (std::size_t i = 0; i < opts.algos.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(opts.algos[i]) << "\"";
+  }
+  os << "],\n";
+  os << "  \"algo_opts\": [";
+  for (std::size_t i = 0; i < opts.algo_opts.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(opts.algo_opts[i])
        << "\"";
   }
   os << "],\n";
@@ -171,14 +186,18 @@ void print_usage() {
   std::printf(
       "lclbench — unified runner for the paper's experiment scenarios\n"
       "\n"
-      "usage: lclbench [--list] [--run <name|all>] [--n <scale>]\n"
-      "                [--reps <r>] [--threads <t>] [--seed <s>]\n"
-      "                [--families <csv|all>] [--json [path]]\n"
+      "usage: lclbench [--list] [--list-algos] [--run <name|all>]\n"
+      "                [--n <scale>] [--reps <r>] [--threads <t>]\n"
+      "                [--seed <s>] [--families <csv|all>]\n"
+      "                [--algos <csv|all>] [--algo-opt <k=v>]...\n"
+      "                [--json [path]]\n"
       "       lclbench --compare <old.json> <new.json>\n"
       "                [--tol-exponent <e>] [--tol-avg <rel>]\n"
       "                [--tol-wall <ratio>] [--allow-missing]\n"
       "\n"
       "  --list          enumerate registered scenarios and exit\n"
+      "  --list-algos    enumerate the algorithm registry (solvers,\n"
+      "                  paper bindings, options) and exit\n"
       "  --run <name>    run one scenario, or `all` for the full sweep\n"
       "  --n <scale>     instance-size multiplier (default 1.0 = paper "
       "scale)\n"
@@ -191,6 +210,12 @@ void print_usage() {
       "  --families <f>  comma-separated instance families for the\n"
       "                  family-driven scenarios (default/`all` = every\n"
       "                  tree family in the registry)\n"
+      "  --algos <a>     comma-separated solvers for the algorithm-driven\n"
+      "                  scenarios, e.g. solver_matrix (default/`all` =\n"
+      "                  every registered solver)\n"
+      "  --algo-opt k=v  solver option override, repeatable; applied to\n"
+      "                  every selected solver that declares the key\n"
+      "                  (see --list-algos for keys and ranges)\n"
       "  --json [path]   write a BENCH_*.json snapshot (schema\n"
       "                  lclbench-v3; default path BENCH_<run>.json)\n"
       "\n"
@@ -201,6 +226,42 @@ void print_usage() {
       "                  wall-time ratio > --tol-wall [off]);\n"
       "                  --allow-missing downgrades missing\n"
       "                  scenarios/series to warnings\n");
+}
+
+/// --list-algos: one block per registered solver — paper binding,
+/// predicted complexity, declared input needs, and every option with its
+/// default and range.
+void print_algo_registry() {
+  for (const algo::SolverSpec& s : algo::registry()) {
+    std::printf("  %-18s %s\n", s.name.c_str(), s.summary.c_str());
+    std::printf("    %-16s %s — %s\n", "solves:", s.problem.c_str(),
+                s.theorem.c_str());
+    std::printf("    %-16s %s\n", "node-averaged:", s.complexity.c_str());
+    std::string needs;
+    if (s.needs & algo::kNeedShuffledIds) needs += " shuffled-ids";
+    if (s.needs & algo::kNeedWeightInputs) needs += " weight-marking";
+    if (s.needs & algo::kNeedDFreeInputs) needs += " dfree-marking";
+    if (s.needs & algo::kNeedRng) needs += " rng";
+    std::printf("    %-16s%s\n", "needs:",
+                needs.empty() ? " (topology only)" : needs.c_str());
+    for (const algo::OptionSpec& o : s.options) {
+      char range[64];
+      std::snprintf(range, sizeof(range), "[%lld, %s]",
+                    static_cast<long long>(o.min),
+                    o.max > (std::int64_t{1} << 40)
+                        ? "inf"
+                        : std::to_string(o.max).c_str());
+      if (o.is_list) {
+        std::printf("      %-14s %-14s %s\n", o.key.c_str(),
+                    (std::string("list ") + range).c_str(),
+                    o.summary.c_str());
+      } else {
+        std::printf("      %-14s %-14s %s (default %lld)\n",
+                    o.key.c_str(), range, o.summary.c_str(),
+                    static_cast<long long>(o.def));
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -319,6 +380,13 @@ void ScenarioContext::report(const std::string& title,
                              std::vector<core::MeasuredRun> runs) {
   core::print_experiment(title, runs, scale_name, predicted_lo,
                          predicted_hi);
+  record(title, scale_name, predicted_lo, predicted_hi, std::move(runs));
+}
+
+void ScenarioContext::record(const std::string& title,
+                             const std::string& scale_name,
+                             double predicted_lo, double predicted_hi,
+                             std::vector<core::MeasuredRun> runs) {
   Series s;
   s.title = title;
   s.scale_name = scale_name;
@@ -375,6 +443,10 @@ const std::vector<Scenario>& all_scenarios() {
       {"family_sweep",
        "registry coverage: distributed decomposition across --families",
        run_family_sweep},
+      {"solver_matrix",
+       "algorithm-registry coverage: every --algos solver certified on "
+       "every compatible --families instance",
+       run_solver_matrix},
   };
   return registry;
 }
@@ -382,6 +454,7 @@ const std::vector<Scenario>& all_scenarios() {
 int cli_main(int argc, char** argv, const std::string& forced_scenario) {
   ScenarioOptions opts;
   bool list = false;
+  bool list_algos = false;
   bool want_json = false;
   std::string json_path;
   std::string run_name = forced_scenario;
@@ -417,6 +490,8 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
     };
     if (arg == "--list") {
       list = true;
+    } else if (arg == "--list-algos") {
+      list_algos = true;
     } else if (arg == "--run") {
       const std::string name = next_value("--run");
       if (forced_scenario.empty()) run_name = name;
@@ -455,6 +530,25 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
         std::fprintf(stderr, ")\n");
         std::exit(2);
       }
+    } else if (arg == "--algos") {
+      const std::string value = next_value("--algos");
+      try {
+        opts.algos = algo::parse_solver_list(value);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "lclbench: %s\n", e.what());
+        std::exit(2);
+      }
+    } else if (arg == "--algo-opt") {
+      const std::string value = next_value("--algo-opt");
+      try {
+        (void)algo::split_option(value);  // syntactic check only here
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "lclbench: --algo-opt %s\n", e.what());
+        std::exit(2);
+      }
+      // Semantic validation (key known, value parses and is in range)
+      // happens below, once the --algos selection is resolved.
+      opts.algo_opts.push_back(value);
     } else if (arg == "--json") {
       want_json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
@@ -494,6 +588,10 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
     }
     return 0;
   }
+  if (list_algos) {
+    print_algo_registry();
+    return 0;
+  }
   if (run_name.empty()) {
     print_usage();
     return 2;
@@ -510,10 +608,41 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
     return 2;
   }
 
-  // Resolve the family selection once; every consumer (scenarios, JSON
-  // snapshot) reads the same resolved list.
+  // Resolve the family and solver selections once; every consumer
+  // (scenarios, JSON snapshot) reads the same resolved lists.
   if (opts.families.empty()) {
     opts.families = graph::parse_family_list("all");
+  }
+  if (opts.algos.empty()) {
+    opts.algos = algo::parse_solver_list("all");
+  }
+  // Validate every --algo-opt against the *selected* solvers now, so a
+  // bad key or out-of-range value is a clean usage error here — never
+  // an uncaught throw mid-scenario or on a worker thread. Each pair
+  // must be accepted by every selected solver that declares its key,
+  // which is exactly the set the algorithm-driven scenarios apply it to.
+  for (const std::string& kv : opts.algo_opts) {
+    try {
+      bool known = false;
+      for (const std::string& name : opts.algos) {
+        const algo::SolverSpec& s = algo::solver(name);
+        if (s.find_option(algo::split_option(kv).first) == nullptr) {
+          continue;
+        }
+        known = true;
+        algo::SolverConfig probe;
+        algo::apply_option(s, probe, kv);
+        probe.validate(s);
+      }
+      if (!known) {
+        throw std::invalid_argument(
+            "no selected solver has an option '" +
+            algo::split_option(kv).first + "' (see --list-algos)");
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lclbench: --algo-opt %s\n", e.what());
+      return 2;
+    }
   }
 
   core::BatchOptions pool_opts;
@@ -526,7 +655,16 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
   for (const Scenario* s : to_run) {
     ScenarioContext ctx(opts, pool);
     const auto start = std::chrono::steady_clock::now();
-    s->run(ctx);
+    try {
+      s->run(ctx);
+    } catch (const std::exception& e) {
+      // A scenario-level failure (misconfiguration that survived the
+      // eager checks, a builder edge case, ...) is a clean error exit,
+      // not an abort-with-core.
+      std::fprintf(stderr, "lclbench: scenario %s failed: %s\n",
+                   s->name.c_str(), e.what());
+      return 1;
+    }
     ScenarioReport rep;
     rep.name = s->name;
     rep.wall_ms = wall_ms_since(start);

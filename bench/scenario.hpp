@@ -41,6 +41,14 @@ struct ScenarioOptions {
   /// selection to every tree family before scenarios run. Recorded in
   /// BENCH_*.json.
   std::vector<std::string> families;
+  /// Solvers swept by algorithm-driven scenarios (--algos; names from
+  /// algo/registry.hpp). cli_main resolves an empty selection to every
+  /// registered solver before scenarios run. Recorded in BENCH_*.json.
+  std::vector<std::string> algos;
+  /// Raw --algo-opt key=value pairs. Each is applied to every selected
+  /// solver that declares the key (validated by cli_main against the
+  /// registry). Recorded in BENCH_*.json.
+  std::vector<std::string> algo_opts;
 };
 
 /// One fitted sweep: (scale, node-averaged) samples plus the paper's
@@ -94,6 +102,13 @@ class ScenarioContext {
               double predicted_lo, double predicted_hi,
               std::vector<core::MeasuredRun> runs);
 
+  /// Records a series without the table print — for scenarios with many
+  /// small series (the solver_matrix cross-product) that print their own
+  /// compact summary instead.
+  void record(const std::string& title, const std::string& scale_name,
+              double predicted_lo, double predicted_hi,
+              std::vector<core::MeasuredRun> runs);
+
   /// Records a bespoke scalar metric (also used by the JSON snapshot).
   void metric(const std::string& key, double value);
 
@@ -139,5 +154,6 @@ void run_fig2_randomized(ScenarioContext& ctx);      // E13
 void run_ablation(ScenarioContext& ctx);             // E14
 void run_engine_micro(ScenarioContext& ctx);         // substrate micro
 void run_family_sweep(ScenarioContext& ctx);         // registry coverage
+void run_solver_matrix(ScenarioContext& ctx);        // algo x family matrix
 
 }  // namespace lcl::bench

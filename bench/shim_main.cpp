@@ -1,12 +1,24 @@
 // Thin per-scenario shim: `bench_<name>` behaves like the historical
 // standalone experiment binary but routes through the lclbench registry.
-// The scenario name is injected per target by CMake.
+//
+// One shared parse path for every shim: the scenario name is resolved
+// from the executable's own name (argv[0], basename, `bench_` prefix
+// stripped) instead of a per-target compile definition, so all shim
+// binaries are builds of this single translation unit and adding a
+// scenario to the registry needs no new plumbing — only a CMake target
+// name. An unknown or unprefixed name falls through to cli_main's
+// normal scenario validation and usage error.
+#include <string>
+
 #include "scenario.hpp"
 
-#ifndef LCLBENCH_SCENARIO
-#error "LCLBENCH_SCENARIO must be defined to the registry name"
-#endif
-
 int main(int argc, char** argv) {
-  return lcl::bench::cli_main(argc, argv, LCLBENCH_SCENARIO);
+  std::string name = argc > 0 && argv[0] != nullptr ? argv[0] : "";
+  const std::size_t slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  constexpr const char kPrefix[] = "bench_";
+  if (name.rfind(kPrefix, 0) == 0) {
+    name = name.substr(sizeof(kPrefix) - 1);
+  }
+  return lcl::bench::cli_main(argc, argv, name);
 }

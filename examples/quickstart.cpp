@@ -1,23 +1,23 @@
-// Quickstart: build a tree, run a distributed LCL algorithm on the LOCAL
-// simulator, verify the output with an independent checker, and read off
-// the node-averaged complexity.
+// Quickstart: build a tree, pick a solver from the algorithm registry,
+// run it on the LOCAL simulator, and read off the node-averaged
+// complexity — the library's three moves in their idiomatic form.
 //
 //   $ ./examples/quickstart
 //
-// This walks the three core moves of the library:
-//   1. graph::make_* builders create instances (here: the Figure-3
-//      lower-bound tree for 2-hierarchical 3.5-coloring);
-//   2. algo::run_generic executes the Section-4.1 generic algorithm in
-//      the synchronous LOCAL engine, recording per-node termination
-//      rounds;
-//   3. problems::check_hierarchical_coloring validates the labeling
-//      against Definition 9, and RunStats reports worst-case vs
-//      node-averaged rounds — the quantity this paper classifies.
+//   1. graph::make_* builders (and the named families of
+//      graph/families.hpp) create instances; here: the Figure-3
+//      lower-bound tree for 2-hierarchical 3.5-coloring.
+//   2. algo::solver("generic_hier_35") looks the Section-4.1 algorithm
+//      up in the registry (`lclbench --list-algos` prints the full
+//      catalog); algo::run_registered executes it in the synchronous
+//      LOCAL engine and certifies the outputs with the problem's own
+//      Definition-9 checker — one uniform call for every solver.
+//   3. RunStats reports worst-case vs node-averaged rounds — the
+//      quantity this paper classifies.
 #include <cstdio>
 
-#include "algo/generic_hier.hpp"
+#include "algo/registry.hpp"
 #include "graph/builders.hpp"
-#include "problems/checkers.hpp"
 #include "problems/labels.hpp"
 
 int main() {
@@ -31,37 +31,40 @@ int main() {
   std::printf("instance: %d nodes, max degree %d\n", tree.size(),
               tree.max_degree());
 
-  // Run the generic algorithm for k-hierarchical 3.5-coloring with
-  // gamma_1 = 8: level-1 paths are exactly at the Decline threshold, so
-  // they all decline and the level-2 path 3-colors via Cole-Vishkin.
-  algo::GenericOptions options;
-  options.variant = problems::Variant::kThreeHalf;
-  options.k = 2;
-  options.gammas = {8};
-  const local::RunStats stats = algo::run_generic(tree, options);
+  // Pick the generic 3.5-coloring algorithm from the registry and set
+  // its typed options: gamma_1 = 8 puts the level-1 paths exactly at
+  // the Decline threshold, so they all decline and the level-2 path
+  // 3-colors via Cole-Vishkin. Out-of-range values fail loudly here —
+  // try k=0.
+  const algo::SolverSpec& spec = algo::solver("generic_hier_35");
+  algo::SolverConfig config;
+  config.set("k", 2);
+  config.set("gammas", std::vector<std::int64_t>{8});
 
-  // Validate with the independent Definition-9 checker.
-  const auto verdict = problems::check_hierarchical_coloring(
-      tree, options.k, options.variant, stats.primaries());
+  // One call: validate options, build the program, run, certify.
+  const algo::SolverRun run = algo::run_registered(spec, tree, config);
+  std::printf("solver: %s (%s; predicted %s)\n", spec.name.c_str(),
+              spec.theorem.c_str(), spec.complexity.c_str());
   std::printf("valid solution: %s\n",
-              verdict.ok ? "yes" : verdict.reason.c_str());
+              run.verdict.ok ? "yes" : run.verdict.reason.c_str());
 
   // Worst-case vs node-averaged: the paper's subject matter.
   std::printf("worst-case rounds:   %lld\n",
-              static_cast<long long>(stats.worst_case));
-  std::printf("node-averaged:       %.2f\n", stats.node_averaged);
+              static_cast<long long>(run.stats.worst_case));
+  std::printf("node-averaged:       %.2f\n", run.stats.node_averaged);
   std::printf("(most nodes decline after ~gamma_1 rounds; only the "
               "level-2 path pays the Theta(log* n) coloring)\n");
 
   // Peek at a few outputs.
   std::printf("first 10 outputs: ");
   for (graph::NodeId v = 0; v < 10 && v < tree.size(); ++v) {
-    std::printf("%s ",
-                problems::to_string(
-                    static_cast<problems::Color>(
-                        stats.output[static_cast<std::size_t>(v)].primary))
-                    .c_str());
+    std::printf(
+        "%s ",
+        problems::to_string(
+            static_cast<problems::Color>(
+                run.stats.output[static_cast<std::size_t>(v)].primary))
+            .c_str());
   }
   std::printf("\n");
-  return verdict.ok ? 0 : 1;
+  return run.verdict.ok ? 0 : 1;
 }

@@ -1,8 +1,14 @@
-// Example: writing your own LOCAL algorithm against the engine API.
+// Example: writing your own LOCAL algorithm against the engine API and
+// making it a first-class citizen of the solver surface.
 //
 // Implements a tiny protocol — every node computes its distance to the
 // nearest leaf — to show the Program / NodeCtx surface: registers,
 // termination, synchronous semantics, and per-node round accounting.
+// The program is then wrapped in an ad-hoc algo::SolverSpec (the same
+// struct the built-in registry entries use: a factory and an
+// independent certifier), so instances come from the named family
+// registry and every run goes through the one uniform
+// algo::run_registered call — no per-example wiring.
 //
 // Protocol: leaves publish 0 and terminate; every other node publishes
 // 1 + min(neighbor values) and terminates as soon as that value is
@@ -16,9 +22,12 @@
 //   $ ./examples/simulator_tour
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "graph/builders.hpp"
+#include "algo/registry.hpp"
+#include "graph/families.hpp"
 #include "graph/tree.hpp"
 #include "local/engine.hpp"
 
@@ -58,7 +67,8 @@ class NearestLeaf final : public local::Program {
   }
 };
 
-// Centralized reference for validation.
+// Centralized reference the certifier grades against (a solver never
+// checks its own homework).
 std::vector<int> leaf_distances(const graph::Tree& t) {
   std::vector<int> dist(static_cast<std::size_t>(t.size()), -1);
   std::vector<NodeId> frontier;
@@ -84,32 +94,55 @@ std::vector<int> leaf_distances(const graph::Tree& t) {
   return dist;
 }
 
+/// A custom program becomes sweepable by filling the same SolverSpec the
+/// built-in registry entries use.
+algo::SolverSpec nearest_leaf_spec() {
+  algo::SolverSpec s;
+  s.name = "nearest_leaf";
+  s.summary = "distance to the nearest leaf (tour demo)";
+  s.problem = "leaf-distance labeling";
+  s.factory = [](const graph::Tree& tree, const algo::SolverConfig&) {
+    (void)tree;
+    return std::make_unique<NearestLeaf>();
+  };
+  s.certify = [](const graph::Tree& tree, const local::Program&,
+                 const local::RunStats& stats, const algo::SolverConfig&) {
+    const auto reference = leaf_distances(tree);
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      if (stats.output[static_cast<std::size_t>(v)].primary !=
+          reference[static_cast<std::size_t>(v)]) {
+        return problems::CheckResult::fail("node " + std::to_string(v) +
+                                           ": wrong leaf distance");
+      }
+    }
+    return problems::CheckResult::pass();
+  };
+  s.compatible = [](const graph::Family& f) { return f.is_tree; };
+  return s;
+}
+
 }  // namespace
 
 int main() {
-  for (const std::string name : {"path", "caterpillar", "random", "star"}) {
-    graph::Tree t = name == "path"          ? graph::make_path(401)
-                    : name == "caterpillar" ? graph::make_caterpillar(150, 2)
-                    : name == "random" ? graph::make_random_tree(2000, 4, 5)
-                                       : graph::make_star(64);
-    local::Engine engine(t);
-    NearestLeaf program;
-    const auto stats = engine.run(program);
+  const algo::SolverSpec spec = nearest_leaf_spec();
+  // Instances by name from the family registry — the same axis every
+  // scenario sweeps (lclbench --families).
+  for (const std::string name :
+       {"path", "caterpillar", "random_attach", "star"}) {
+    graph::Tree t = graph::make_family_instance(
+        name, name == "random_attach" ? 2000 : 401, /*seed=*/5);
+    const algo::SolverRun run = algo::run_registered(spec, t, {});
 
-    // Validate against the centralized reference.
-    const auto reference = leaf_distances(t);
-    bool ok = true;
+    int max_depth = 0;
     for (NodeId v = 0; v < t.size(); ++v) {
-      ok = ok && stats.output[static_cast<std::size_t>(v)].primary ==
-                     reference[static_cast<std::size_t>(v)];
+      max_depth = std::max(
+          max_depth, run.stats.output[static_cast<std::size_t>(v)].primary);
     }
-    const int max_depth =
-        *std::max_element(reference.begin(), reference.end());
     std::printf("%-12s n=%5d: max leaf-distance %3d, worst-case %4lld "
                 "rounds, node-avg %7.2f, correct=%s\n",
                 name.c_str(), t.size(), max_depth,
-                static_cast<long long>(stats.worst_case),
-                stats.node_averaged, ok ? "yes" : "NO");
+                static_cast<long long>(run.stats.worst_case),
+                run.stats.node_averaged, run.verdict.ok ? "yes" : "NO");
   }
   std::printf("\nThe path's node-average is Theta(n) while the bushy\n"
               "trees finish in O(1) on average — the worst-case vs\n"

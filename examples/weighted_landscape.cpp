@@ -13,11 +13,10 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "algo/apoly.hpp"
+#include "algo/registry.hpp"
 #include "core/exponents.hpp"
 #include "core/experiment.hpp"
 #include "graph/builders.hpp"
-#include "problems/checkers.hpp"
 
 int main(int argc, char** argv) {
   using namespace lcl;
@@ -47,22 +46,22 @@ int main(int argc, char** argv) {
     auto inst = graph::make_weighted_construction(ell, choice.params.delta);
     graph::assign_ids(inst.tree, graph::IdScheme::kShuffled, 7);
 
-    algo::ApolyOptions o;
-    o.k = choice.k;
-    o.d = choice.params.d;
+    algo::SolverConfig cfg;
+    cfg.set("k", choice.k);
+    cfg.set("d", choice.params.d);
+    std::vector<std::int64_t> gammas;
     for (int j = 0; j + 1 < choice.k; ++j) {
-      o.gammas.push_back(std::max<std::int64_t>(
+      gammas.push_back(std::max<std::int64_t>(
           2, inst.skeleton_lengths[static_cast<std::size_t>(j)]));
     }
-    const auto stats = algo::run_apoly(inst.tree, o);
-    const auto check = problems::check_weighted(
-        inst.tree, choice.k, choice.params.d,
-        problems::Variant::kTwoHalf, stats.output);
+    cfg.set("gammas", std::move(gammas));
+    const auto run =
+        algo::run_registered(algo::solver("apoly"), inst.tree, cfg);
     std::printf("n=%7d: node-avg %8.2f  worst %6lld  valid=%s\n",
-                inst.tree.size(), stats.node_averaged,
-                static_cast<long long>(stats.worst_case),
-                check.ok ? "yes" : check.reason.c_str());
-    avg[i] = stats.node_averaged;
+                inst.tree.size(), run.stats.node_averaged,
+                static_cast<long long>(run.stats.worst_case),
+                run.verdict.ok ? "yes" : run.verdict.reason.c_str());
+    avg[i] = run.stats.node_averaged;
     sizes[i] = inst.tree.size();
   }
 

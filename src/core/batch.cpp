@@ -74,6 +74,73 @@ BatchJob make_family_job(std::string label, double scale,
                   std::move(make_program), std::move(check), max_rounds);
 }
 
+BatchJob make_solver_job(std::string label, double scale,
+                         std::uint64_t seed, std::string solver,
+                         algo::SolverConfig config, std::string family,
+                         graph::NodeId n, int delta,
+                         std::int64_t max_rounds) {
+  // Resolve and validate both registry axes eagerly: an unknown solver,
+  // an out-of-range option, or an unknown/unsatisfiable family throws
+  // here, at sweep construction, not on a worker thread mid-batch.
+  const algo::SolverSpec& spec = algo::solver(solver);
+  config.validate(spec);
+  if (graph::find_family(family) == nullptr) {
+    throw std::invalid_argument("make_solver_job: unknown family '" +
+                                family + "'");
+  }
+  {
+    // Dry-build the whole cell on a tiny instance: the family's own
+    // parameter checks (unsatisfiable delta etc.) AND the solver
+    // factory's relational option checks (|gammas| != k-1, gamma == 1,
+    // ...) both fire here, at sweep construction — not as a
+    // kException on every worker-thread run.
+    graph::Tree probe =
+        graph::make_family_instance(family, /*n=*/8, /*seed=*/0, delta);
+    algo::prepare_instance(probe, spec.needs, /*seed=*/0);
+    algo::SolverConfig probe_config = config;
+    probe_config.seed = 0;
+    (void)spec.factory(probe, probe_config);
+  }
+
+  BatchJob job;
+  job.label = std::move(label);
+  job.scale = scale;
+  job.seed = seed;
+  job.run = [scale, &spec, config = std::move(config),
+             family = std::move(family), n, delta,
+             max_rounds](std::uint64_t s) {
+    const auto build_start = std::chrono::steady_clock::now();
+    graph::Tree tree;
+    try {
+      tree = graph::make_family_instance(family, n, s, delta);
+      algo::prepare_instance(tree, spec.needs, s);
+    } catch (const std::exception& e) {
+      MeasuredRun r;
+      r.scale = scale;
+      r.status = RunStatus::kBuildFailed;
+      r.check_reason = std::string("instance build threw: ") + e.what();
+      return r;
+    }
+    const double build_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - build_start)
+            .count();
+    algo::SolverConfig run_config = config;
+    run_config.seed = s;
+    const std::unique_ptr<local::Program> program =
+        spec.factory(tree, run_config);
+    local::Engine engine(tree);
+    const local::RunStats stats = engine.run(*program, max_rounds);
+    const problems::CheckResult verdict =
+        stats.truncated ? problems::CheckResult::pass()
+                        : spec.certify(tree, *program, stats, run_config);
+    MeasuredRun r = measure_run(scale, stats, verdict);
+    r.build_ms = build_ms;
+    return r;
+  };
+  return job;
+}
+
 BatchRunner::BatchRunner(const BatchOptions& opts) {
   int threads = opts.threads;
   if (threads <= 0) {

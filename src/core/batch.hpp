@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "algo/registry.hpp"
 #include "core/experiment.hpp"
 #include "graph/tree.hpp"
 #include "local/engine.hpp"
@@ -74,6 +75,21 @@ using RunChecker = std::function<problems::CheckResult(
     std::string label, double scale, std::uint64_t seed,
     std::string family, graph::NodeId n, int delta,
     ProgramFactory make_program, RunChecker check,
+    std::int64_t max_rounds = std::numeric_limits<int>::max());
+
+/// The fully registry-driven composition: instance from the named
+/// *family* registry entry, algorithm from the named *solver* registry
+/// entry (algo/registry.hpp). The job builds the family instance at `n`
+/// with the job seed, applies the solver's declared input needs
+/// (`algo::prepare_instance`), instantiates the solver through its
+/// factory with `config` (validated eagerly, so misconfigured sweeps
+/// fail at construction), runs it, and certifies the outputs with the
+/// solver's own checker binding — any solver on any compatible family
+/// through one code path.
+[[nodiscard]] BatchJob make_solver_job(
+    std::string label, double scale, std::uint64_t seed,
+    std::string solver, algo::SolverConfig config, std::string family,
+    graph::NodeId n, int delta,
     std::int64_t max_rounds = std::numeric_limits<int>::max());
 
 struct BatchOptions {

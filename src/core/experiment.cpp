@@ -253,6 +253,15 @@ double weight_adjusted_average(const graph::Tree& tree,
   return static_cast<double>(total) / static_cast<double>(tree.size());
 }
 
+std::uint64_t stable_name_seed(std::string_view name) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV-1a prime
+  }
+  return h;
+}
+
 std::vector<std::int64_t> lower_bound_lengths(
     const std::vector<double>& alphas, double base, std::int64_t target_n) {
   constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/fitting.hpp"
@@ -135,6 +136,13 @@ void print_experiment(const std::string& title,
 /// Pi^{2.5}/Pi^{3.5} sweeps.
 [[nodiscard]] double weight_adjusted_average(const graph::Tree& tree,
                                              const local::RunStats& stats);
+
+/// Stable FNV-1a hash of a name, used as a base seed so a named sweep
+/// cell's instances are identical no matter which other cells were
+/// selected alongside it — single-cell reruns reproduce full sweeps
+/// exactly. Recorded behavior: changing this function invalidates the
+/// committed BENCH snapshots of every name-seeded scenario.
+[[nodiscard]] std::uint64_t stable_name_seed(std::string_view name);
 
 /// Path lengths ell_1..ell_k for the Definition-18 / Definition-25
 /// constructions: ell_i = base^{alpha_i} for i < k and ell_k chosen so

@@ -436,6 +436,17 @@ CheckResult check_weight_augmented(const Tree& tree, int k,
     return tree.input(v) == static_cast<int>(graph::WeightInput::kActive);
   };
 
+  // Per-node orientation arity first: the rules below index
+  // orient[v][p] for every port, so a short row must become a fail
+  // verdict here, never an out-of-bounds read inside the checker.
+  for (NodeId v = 0; v < n; ++v) {
+    if (orient[static_cast<std::size_t>(v)].size() !=
+        tree.neighbors(v).size()) {
+      return CheckResult::fail(node_str(v) +
+                               ": orientation arity mismatch");
+    }
+  }
+
   // Rule 1: active subgraph solves k-hierarchical 2.5-coloring.
   {
     std::vector<char> active_mask(static_cast<std::size_t>(n), 0);
@@ -472,12 +483,24 @@ CheckResult check_weight_augmented(const Tree& tree, int k,
     for (std::size_t i = 0; i < from_sub.size(); ++i) {
       const NodeId v = from_sub[i];
       sub_labels[i] = outputs[static_cast<std::size_t>(v)].primary;
+      // Align the carried-over orientations with the *subgraph's* port
+      // order: induced_subgraph fills each node's CSR range in global
+      // edge-insertion order, which need not match the parent's
+      // per-node port order (BFS-built paper instances happen to agree,
+      // arbitrary families — e.g. Prüfer trees — do not).
+      const auto sub_nb = sub.neighbors(static_cast<NodeId>(i));
       const auto nb = tree.neighbors(v);
-      for (std::size_t p = 0; p < nb.size(); ++p) {
-        if (!is_active(nb[p])) {
-          sub_orient[i].push_back(
-              orient[static_cast<std::size_t>(v)][p]);
+      sub_orient[i].reserve(sub_nb.size());
+      for (const NodeId sj : sub_nb) {
+        const NodeId u = from_sub[static_cast<std::size_t>(sj)];
+        EdgeDir dir = EdgeDir::kNone;
+        for (std::size_t p = 0; p < nb.size(); ++p) {
+          if (nb[p] == u) {
+            dir = orient[static_cast<std::size_t>(v)][p];
+            break;
+          }
         }
+        sub_orient[i].push_back(dir);
       }
     }
     CheckResult inner =
@@ -488,13 +511,11 @@ CheckResult check_weight_augmented(const Tree& tree, int k,
   }
 
   // Rules 3-5: orientation toward actives and secondary-output copying.
+  // (Per-node orientation arity was already verified up front.)
   for (NodeId v = 0; v < n; ++v) {
     if (is_active(v)) continue;
     const auto nb = tree.neighbors(v);
     const auto& ov = orient[static_cast<std::size_t>(v)];
-    if (ov.size() != nb.size()) {
-      return CheckResult::fail(node_str(v) + ": orientation arity mismatch");
-    }
     const int secondary = outputs[static_cast<std::size_t>(v)].secondary;
     const int lab = outputs[static_cast<std::size_t>(v)].primary;
 

@@ -7,11 +7,13 @@
 #include <cstring>
 #include <ctime>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "algo/registry.hpp"
 #include "compare.hpp"
+#include "core/json.hpp"
 #include "graph/families.hpp"
 
 namespace lcl::bench {
@@ -47,10 +49,12 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
+  // Integral values inside the exactly-representable double range are
+  // printed in full: %.6g would silently round e.g. the 53-bit problem
+  // seeds the problem_sweep metrics list per disagreement. The cutoff
+  // logic is shared with core::json::dump so the golden round-trip
+  // test keeps the writer and the serializer in sync.
+  return core::json::format_number(v, "%.6g");
 }
 
 struct ScenarioReport {
@@ -74,6 +78,11 @@ void write_json(const std::string& path, const ScenarioOptions& opts,
   os << "  \"reps\": " << opts.reps << ",\n";
   os << "  \"threads\": " << opts.threads << ",\n";
   os << "  \"seed\": " << opts.seed << ",\n";
+  // Problem-axis selection (additive to schema lclbench-v3): the
+  // problem_sweep scenario's sampled-problem count and generator seed,
+  // so snapshots pin exactly which LCLs were classified.
+  os << "  \"problems\": " << opts.problems << ",\n";
+  os << "  \"problem_seed\": " << opts.problem_seed << ",\n";
   os << "  \"families\": [";
   for (std::size_t i = 0; i < opts.families.size(); ++i) {
     os << (i ? ", " : "") << "\"" << json_escape(opts.families[i])
@@ -190,6 +199,7 @@ void print_usage() {
       "                [--n <scale>] [--reps <r>] [--threads <t>]\n"
       "                [--seed <s>] [--families <csv|all>]\n"
       "                [--algos <csv|all>] [--algo-opt <k=v>]...\n"
+      "                [--problems <count>] [--problem-seed <s>]\n"
       "                [--json [path]]\n"
       "       lclbench --compare <old.json> <new.json>\n"
       "                [--tol-exponent <e>] [--tol-avg <rel>]\n"
@@ -216,8 +226,16 @@ void print_usage() {
       "  --algo-opt k=v  solver option override, repeatable; applied to\n"
       "                  every selected solver that declares the key\n"
       "                  (see --list-algos for keys and ranges)\n"
+      "  --problems <p>  distinct sampled LCL problems for the\n"
+      "                  problem_sweep scenario (default 60)\n"
+      "  --problem-seed <s>  base seed of the problem generator\n"
+      "                  (default 1); per-problem sub-seeds are recorded\n"
+      "                  in the snapshot\n"
       "  --json [path]   write a BENCH_*.json snapshot (schema\n"
       "                  lclbench-v3; default path BENCH_<run>.json)\n"
+      "\n"
+      "  every flag except --algo-opt may be given at most once;\n"
+      "  duplicates are a usage error\n"
       "\n"
       "  --compare       diff two snapshots and exit nonzero on\n"
       "                  regression (schema, validity/status, exponent\n"
@@ -447,6 +465,10 @@ const std::vector<Scenario>& all_scenarios() {
        "algorithm-registry coverage: every --algos solver certified on "
        "every compatible --families instance",
        run_solver_matrix},
+      {"problem_sweep",
+       "problem-space sweep: sampled bw tables classified, solved "
+       "through the registry, certified, agreement reported",
+       run_problem_sweep},
   };
   return registry;
 }
@@ -463,6 +485,17 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
   std::string compare_new;
   CompareOptions compare_opts;
 
+  // Duplicate-flag detection: every flag except the deliberately
+  // repeatable --algo-opt may appear at most once. Without this, the
+  // silent last-one-wins made `--n 0.1 ... --n 1.0` typos unfindable.
+  std::set<std::string> seen_flags;
+  auto once = [&seen_flags](const std::string& flag) {
+    if (!seen_flags.insert(flag).second) {
+      std::fprintf(stderr, "lclbench: duplicate %s\n", flag.c_str());
+      std::exit(2);
+    }
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&](const char* flag) -> std::string {
@@ -471,6 +504,25 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
         std::exit(2);
       }
       return argv[++i];
+    };
+    auto parse_uint64 = [&](const char* flag) -> std::uint64_t {
+      const std::string value = next_value(flag);
+      try {
+        // stoull would silently wrap a negative value to 2^64 - |v|.
+        if (value.empty() || value[0] == '-') {
+          throw std::invalid_argument(value);
+        }
+        std::size_t used = 0;
+        const std::uint64_t parsed = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "lclbench: %s expects an unsigned integer, got "
+                     "'%s'\n",
+                     flag, value.c_str());
+        std::exit(2);
+      }
     };
     auto parse_double = [&](const char* flag) {
       const std::string value = next_value(flag);
@@ -489,36 +541,40 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
       return static_cast<int>(parse_double(flag));
     };
     if (arg == "--list") {
+      once("--list");
       list = true;
     } else if (arg == "--list-algos") {
+      once("--list-algos");
       list_algos = true;
     } else if (arg == "--run") {
+      once("--run");
       const std::string name = next_value("--run");
       if (forced_scenario.empty()) run_name = name;
     } else if (arg == "--n") {
+      once("--n");
       opts.n_scale = parse_double("--n");
     } else if (arg == "--reps") {
+      once("--reps");
       opts.reps = parse_int("--reps");
     } else if (arg == "--threads") {
+      once("--threads");
       opts.threads = parse_int("--threads");
     } else if (arg == "--seed") {
-      const std::string value = next_value("--seed");
-      try {
-        // stoull would silently wrap a negative value to 2^64 - |v|.
-        if (value.empty() || value[0] == '-') {
-          throw std::invalid_argument(value);
-        }
-        std::size_t used = 0;
-        opts.seed = std::stoull(value, &used);
-        if (used != value.size()) throw std::invalid_argument(value);
-      } catch (const std::exception&) {
+      once("--seed");
+      opts.seed = parse_uint64("--seed");
+    } else if (arg == "--problems") {
+      once("--problems");
+      opts.problems = parse_int("--problems");
+      if (opts.problems <= 0) {
         std::fprintf(stderr,
-                     "lclbench: --seed expects an unsigned integer, got "
-                     "'%s'\n",
-                     value.c_str());
+                     "lclbench: --problems expects a positive count\n");
         std::exit(2);
       }
+    } else if (arg == "--problem-seed") {
+      once("--problem-seed");
+      opts.problem_seed = parse_uint64("--problem-seed");
     } else if (arg == "--families") {
+      once("--families");
       const std::string value = next_value("--families");
       try {
         opts.families = graph::parse_family_list(value);
@@ -531,6 +587,7 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
         std::exit(2);
       }
     } else if (arg == "--algos") {
+      once("--algos");
       const std::string value = next_value("--algos");
       try {
         opts.algos = algo::parse_solver_list(value);
@@ -550,9 +607,11 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
       // happens below, once the --algos selection is resolved.
       opts.algo_opts.push_back(value);
     } else if (arg == "--json") {
+      once("--json");
       want_json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
     } else if (arg == "--compare") {
+      once("--compare");
       compare_mode = true;
       compare_old = next_value("--compare");
       if (i + 1 >= argc) {
@@ -562,12 +621,16 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
       }
       compare_new = argv[++i];
     } else if (arg == "--tol-exponent") {
+      once("--tol-exponent");
       compare_opts.tol_exponent = parse_double("--tol-exponent");
     } else if (arg == "--tol-avg") {
+      once("--tol-avg");
       compare_opts.tol_avg = parse_double("--tol-avg");
     } else if (arg == "--tol-wall") {
+      once("--tol-wall");
       compare_opts.tol_wall = parse_double("--tol-wall");
     } else if (arg == "--allow-missing") {
+      once("--allow-missing");
       compare_opts.allow_missing = true;
     } else if (arg == "--help" || arg == "-h") {
       print_usage();

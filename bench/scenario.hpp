@@ -49,6 +49,13 @@ struct ScenarioOptions {
   /// solver that declares the key (validated by cli_main against the
   /// registry). Recorded in BENCH_*.json.
   std::vector<std::string> algo_opts;
+  /// Distinct sampled LCL problems the problem_sweep scenario classifies
+  /// and certifies (--problems). Recorded in BENCH_*.json.
+  int problems = 60;
+  /// Base seed of the problem generator (--problem-seed); every sampled
+  /// table's own sub-seed derives from it and is what the snapshot
+  /// reports per problem. Recorded in BENCH_*.json.
+  std::uint64_t problem_seed = 1;
 };
 
 /// One fitted sweep: (scale, node-averaged) samples plus the paper's
@@ -155,5 +162,6 @@ void run_ablation(ScenarioContext& ctx);             // E14
 void run_engine_micro(ScenarioContext& ctx);         // substrate micro
 void run_family_sweep(ScenarioContext& ctx);         // registry coverage
 void run_solver_matrix(ScenarioContext& ctx);        // algo x family matrix
+void run_problem_sweep(ScenarioContext& ctx);        // sampled-LCL sweep
 
 }  // namespace lcl::bench

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "algo/apoly.hpp"
+#include "algo/bw_generic.hpp"
 #include "algo/cole_vishkin.hpp"
 #include "algo/decomp_program.hpp"
 #include "algo/dfree_logn.hpp"
@@ -13,9 +14,11 @@
 #include "algo/pi35.hpp"
 #include "algo/randomized.hpp"
 #include "algo/weight_aug.hpp"
+#include "bw/tree_problem.hpp"
 #include "decomp/rake_compress.hpp"
 #include "graph/builders.hpp"
 #include "problems/labels.hpp"
+#include "problems/lclgen.hpp"
 #include "problems/levels.hpp"
 
 namespace lcl::algo {
@@ -528,6 +531,53 @@ std::vector<SolverSpec> build_registry() {
                    const local::RunStats& stats, const SolverConfig& cfg) {
       return certify_proper_coloring(tree, stats,
                                      resolve_colors(tree, cfg));
+    };
+    reg.push_back(std::move(s));
+  }
+
+  {
+    SolverSpec s;
+    s.name = "bw_generic";
+    s.summary =
+        "generic rake-and-compress solver for sampled bw tables "
+        "(Section 11)";
+    s.problem = "sampled black-white tree LCL (Definition 70 table)";
+    s.theorem = "Theorem 7 / Section 11 generic algorithm";
+    s.complexity = "O(1) / Theta(log* n) / Theta(log n) by class";
+    s.needs = kNeedShuffledIds;
+    s.options = {{"problem_seed",
+                  "lclgen generator seed of the sampled table (0 = the "
+                  "free table)",
+                  0, 0, kBig, false}};
+    // The table formalism caps degrees at problems::kMaxTableDegree, so
+    // only families whose *default* shape respects the cap are swept by
+    // the matrix scenario (problem_sweep builds its instances with an
+    // explicit delta instead).
+    s.compatible = [](const graph::Family& f) {
+      return f.is_tree &&
+             (f.name == "path" || f.name == "binary_pendant" ||
+              f.name == "galton_watson" || f.name == "random_attach");
+    };
+    s.factory = [](const Tree& tree, const SolverConfig& cfg) {
+      return std::make_unique<BwGenericProgram>(
+          tree, problems::sample_table(
+                    static_cast<std::uint64_t>(cfg.get("problem_seed"))));
+    };
+    s.certify = [](const Tree& tree, const local::Program& program,
+                   const local::RunStats&, const SolverConfig&) {
+      const auto* p = dynamic_cast<const BwGenericProgram*>(&program);
+      if (p == nullptr) {
+        return CheckResult::fail("bw_generic: program type mismatch");
+      }
+      if (!p->solved()) {
+        return CheckResult::fail("bw_generic: instance infeasible: " +
+                                 p->failure());
+      }
+      const std::string err =
+          bw::check_tree_bw(tree, p->table().to_problem(),
+                            p->edge_labels());
+      return err.empty() ? CheckResult::pass()
+                         : CheckResult::fail("bw_generic: " + err);
     };
     reg.push_back(std::move(s));
   }

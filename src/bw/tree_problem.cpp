@@ -426,6 +426,11 @@ TreeBwResult solve_tree_bw(const Tree& tree, const TreeBwProblem& problem) {
         edge_set[static_cast<std::size_t>(edges.of(
             tree, plan.path.back(), plan.right_out_port))] = rect.right;
       }
+      ChainRecord record;
+      record.nodes = plan.path;
+      record.left = need_left ? rect.left : 0;
+      record.right = need_right ? rect.right : 0;
+      res.chains.push_back(std::move(record));
       chain_of[static_cast<std::size_t>(plan.path.front())] =
           static_cast<int>(chains.size());
       chains.push_back(std::move(plan));
@@ -524,6 +529,118 @@ TreeBwResult solve_tree_bw(const Tree& tree, const TreeBwProblem& problem) {
     for (std::size_t s = 0; s < in_ports.size(); ++s) {
       res.edge_label[static_cast<std::size_t>(
           edges.of(tree, v, in_ports[s]))] = picks[s];
+    }
+  }
+
+  res.solved = true;
+  return res;
+}
+
+TreeBwResult solve_tree_bw_global(const Tree& tree,
+                                  const TreeBwProblem& problem) {
+  TreeBwResult res;
+  const EdgeIndex edges = EdgeIndex::build(tree);
+  const std::vector<int> color = two_color(tree);
+  const NodeId n = tree.size();
+  res.edge_label.assign(static_cast<std::size_t>(edges.edge_count), -1);
+
+  // Root every component at its smallest node; record a BFS order so the
+  // reverse is a valid bottom-up order (children before parents) without
+  // recursion (components can be 10^5-node paths).
+  std::vector<NodeId> parent(static_cast<std::size_t>(n),
+                             graph::kInvalidNode);
+  std::vector<int> parent_port(static_cast<std::size_t>(n), -1);
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> bfs;
+  bfs.reserve(static_cast<std::size_t>(n));
+  for (NodeId root = 0; root < n; ++root) {
+    if (visited[static_cast<std::size_t>(root)]) continue;
+    visited[static_cast<std::size_t>(root)] = 1;
+    bfs.push_back(root);
+    for (std::size_t head = bfs.size() - 1; head < bfs.size(); ++head) {
+      const NodeId v = bfs[head];
+      const auto nb = tree.neighbors(v);
+      for (std::size_t p = 0; p < nb.size(); ++p) {
+        const NodeId u = nb[p];
+        if (visited[static_cast<std::size_t>(u)]) continue;
+        visited[static_cast<std::size_t>(u)] = 1;
+        parent[static_cast<std::size_t>(u)] = v;
+        // Record u's port toward v for the edge-id lookup at commit time.
+        const auto unb = tree.neighbors(u);
+        for (std::size_t q = 0; q < unb.size(); ++q) {
+          if (unb[q] == v) {
+            parent_port[static_cast<std::size_t>(u)] =
+                static_cast<int>(q);
+          }
+        }
+        bfs.push_back(u);
+      }
+    }
+  }
+
+  // Bottom-up: up[v] = labels the edge (v, parent) can carry such that
+  // v's subtree completes. Children's sets are independent (disjoint
+  // subtrees), so feasible_choice's exists-a-choice semantics is exact.
+  std::vector<LabelSet> up(static_cast<std::size_t>(n), 0);
+  std::vector<LabelSet> sets;
+  for (auto it = bfs.rbegin(); it != bfs.rend(); ++it) {
+    const NodeId v = *it;
+    sets.clear();
+    const auto nb = tree.neighbors(v);
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      if (nb[p] == parent[static_cast<std::size_t>(v)]) continue;
+      sets.push_back(up[static_cast<std::size_t>(nb[p])]);
+    }
+    if (parent[static_cast<std::size_t>(v)] == graph::kInvalidNode) {
+      // Component root: solvable iff some choice over the children's
+      // sets completes the root's own multiset constraint.
+      if (!feasible_choice(problem, color[static_cast<std::size_t>(v)],
+                           {}, sets, nullptr)) {
+        res.failure =
+            "global DP: no completion at root " + std::to_string(v);
+        return res;
+      }
+      continue;
+    }
+    LabelSet g = 0;
+    for (int o = 0; o < problem.alphabet; ++o) {
+      if (feasible_choice(problem, color[static_cast<std::size_t>(v)],
+                          {o}, sets, nullptr)) {
+        g |= (1u << o);
+      }
+    }
+    if (g == 0) {
+      res.failure =
+          "global DP: empty up-set at node " + std::to_string(v);
+      return res;
+    }
+    up[static_cast<std::size_t>(v)] = g;
+  }
+
+  // Top-down commit in BFS order: the parent edge's label is fixed when
+  // v is reached; choose child-edge labels from the children's up-sets.
+  for (const NodeId v : bfs) {
+    std::vector<int> fixed;
+    if (parent[static_cast<std::size_t>(v)] != graph::kInvalidNode) {
+      fixed.push_back(res.edge_label[static_cast<std::size_t>(edges.of(
+          tree, v, parent_port[static_cast<std::size_t>(v)]))]);
+    }
+    sets.clear();
+    std::vector<int> set_ports;
+    const auto nb = tree.neighbors(v);
+    for (std::size_t p = 0; p < nb.size(); ++p) {
+      if (nb[p] == parent[static_cast<std::size_t>(v)]) continue;
+      sets.push_back(up[static_cast<std::size_t>(nb[p])]);
+      set_ports.push_back(static_cast<int>(p));
+    }
+    std::vector<int> picks;
+    if (!feasible_choice(problem, color[static_cast<std::size_t>(v)],
+                         fixed, sets, &picks)) {
+      throw std::logic_error("tree_bw: global DP commit infeasible");
+    }
+    for (std::size_t s = 0; s < set_ports.size(); ++s) {
+      res.edge_label[static_cast<std::size_t>(
+          edges.of(tree, v, set_ports[s]))] = picks[s];
     }
   }
 

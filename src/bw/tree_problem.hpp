@@ -49,11 +49,24 @@ struct TreeBwProblem {
   std::function<bool(int color, const std::vector<int>&)> allowed;
 };
 
+/// One compress chain the generic solver processed, with the label-sets
+/// it committed to the chain's outgoing edges (0 = no outgoing edge on
+/// that side). Solvers use these to decide, per chain, whether the
+/// induced compress problem is O(1)-completable or needs a Theta(log*)
+/// split — the per-instance realization of Definition 77.
+struct ChainRecord {
+  std::vector<NodeId> nodes;  ///< in path order
+  LabelSet left = 0;          ///< set on the front node's outgoing edge
+  LabelSet right = 0;         ///< set on the back node's outgoing edge
+};
+
 /// Result of the generic solver.
 struct TreeBwResult {
   bool solved = false;
   std::string failure;          ///< first empty label-set, if any
   std::vector<int> edge_label;  ///< per edge id (see edge_index)
+  /// Compress chains in bottom-up order (filled by solve_tree_bw only).
+  std::vector<ChainRecord> chains;
 };
 
 /// Canonical edge indexing: edge {u, v} with u < v gets a dense id. The
@@ -71,6 +84,14 @@ struct EdgeIndex {
 /// Runs the generic rake-and-compress solver.
 [[nodiscard]] TreeBwResult solve_tree_bw(const Tree& tree,
                                          const TreeBwProblem& problem);
+
+/// Exact global solver: roots every component and runs the classic
+/// bottom-up feasible-label DP followed by a top-down commit, with no
+/// canonical-rectangle restriction. Solves exactly the instances that
+/// admit *any* labeling (the Theta(log n)-schedule fallback for problems
+/// the flexible generic solver rejects, e.g. parity-rigid chains).
+[[nodiscard]] TreeBwResult solve_tree_bw_global(const Tree& tree,
+                                               const TreeBwProblem& problem);
 
 /// Verifies an edge labeling against the problem (independent checker).
 [[nodiscard]] std::string check_tree_bw(const Tree& tree,

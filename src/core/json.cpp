@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -270,6 +271,101 @@ std::string Value::get_string(std::string_view key,
                               const std::string& fallback) const {
   const Value* v = find(key);
   return v == nullptr ? fallback : v->string_or(fallback);
+}
+
+std::string format_number(double v, const char* fallback_fmt) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  if (v == std::floor(v) && v >= -9007199254740992.0 &&
+      v <= 9007199254740992.0) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), fallback_fmt, v);
+  }
+  return buf;
+}
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double v) {
+  out += format_number(v, "%.17g");
+}
+
+void dump_value(std::string& out, const Value& v, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (v.type) {
+    case Value::Type::kNull: out += "null"; break;
+    case Value::Type::kBool: out += v.boolean ? "true" : "false"; break;
+    case Value::Type::kNumber: dump_number(out, v.number); break;
+    case Value::Type::kString: dump_string(out, v.str); break;
+    case Value::Type::kArray: {
+      if (v.array.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        out += inner;
+        dump_value(out, v.array[i], indent + 1);
+        if (i + 1 < v.array.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "]";
+      break;
+    }
+    case Value::Type::kObject: {
+      if (v.object.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < v.object.size(); ++i) {
+        out += inner;
+        dump_string(out, v.object[i].first);
+        out += ": ";
+        dump_value(out, v.object[i].second, indent + 1);
+        if (i + 1 < v.object.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump_value(out, v, 0);
+  out += '\n';
+  return out;
 }
 
 Value parse(std::string_view text) {

@@ -61,4 +61,23 @@ struct Value {
 /// cannot be read or does not parse.
 [[nodiscard]] Value parse_file(const std::string& path);
 
+/// Shared JSON number formatting: non-finite values become "null",
+/// integral values inside the exactly-representable double range
+/// [-2^53, 2^53] print as full-precision integers (53-bit problem seeds
+/// must survive a snapshot round-trip), anything else through
+/// `fallback_fmt` (a printf format for one double — the snapshot writer
+/// passes "%.6g" for compact files, `dump` "%.17g" for exact
+/// round-trips). Single source of truth for the integral cutoff.
+[[nodiscard]] std::string format_number(double v, const char* fallback_fmt);
+
+/// Serializes a Value into a canonical, deterministic text form:
+/// 2-space-indented objects/arrays with keys in stored (file) order,
+/// integral numbers in [-2^53, 2^53] printed as integers, other numbers
+/// via shortest-round-trip %.17g, and a trailing newline. `dump` and
+/// `parse` are exact inverses on this form (`dump(parse(dump(v))) ==
+/// dump(v)`), which is what the golden-file round-trip test pins: any
+/// drift between the snapshot schema, the parser, and this serializer
+/// shows up as a byte diff at test time rather than inside `--compare`.
+[[nodiscard]] std::string dump(const Value& v);
+
 }  // namespace lcl::core::json

@@ -19,6 +19,17 @@ std::string to_string(Provenance p) {
   return "?";
 }
 
+const LandscapeRegion* find_region(const std::vector<LandscapeRegion>& rows,
+                                   std::string_view range_prefix) {
+  for (const LandscapeRegion& r : rows) {
+    if (std::string_view(r.range).substr(0, range_prefix.size()) ==
+        range_prefix) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
 std::vector<LandscapeRegion> landscape(bool after) {
   using RK = RegionKind;
   using PV = Provenance;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace lcl::core {
@@ -41,5 +42,12 @@ struct LandscapeRegion {
 
 [[nodiscard]] std::string to_string(RegionKind k);
 [[nodiscard]] std::string to_string(Provenance p);
+
+/// First row whose `range` starts with `range_prefix`; nullptr if none.
+/// The problem classifier (problems/classify.hpp) uses this to bind its
+/// predictions to the authoritative Figure-2 rows instead of restating
+/// them.
+[[nodiscard]] const LandscapeRegion* find_region(
+    const std::vector<LandscapeRegion>& rows, std::string_view range_prefix);
 
 }  // namespace lcl::core

@@ -1,0 +1,127 @@
+// Empirical classifier for sampled black-white tree LCLs.
+//
+// Maps a `BwTable` to its predicted landscape row using exactly the
+// machinery the paper's Section 11 decision procedure is built from:
+//
+//   1. an *exact* rake feasibility closure over label-sets
+//      (`tree_testing`): starting from the leaf set, close under the
+//      one-node extension against every multiset of <= max_degree - 1
+//      reachable child sets, and require every root combination to be
+//      completable. Each reachable set is realized by a concrete
+//      bounded-degree subtree, so an empty set or an uncompletable root
+//      combination is a *witness tree* on which no labeling exists:
+//      prediction kUnsolvable. Conversely, if the closure is clean,
+//      every degree-bounded tree is solvable by the exact DP
+//      (bw::solve_tree_bw_global).
+//   2. the path restriction (`path_restriction`): degree-2 rows become
+//      a PathLcl adjacency, degree-1 rows its boundary sets — the
+//      compress-path problem of Definition 77, classified by the
+//      decidable src/bw machinery. A kLinear path class (parity-rigid
+//      chains) or a failing rectangle testing procedure means the
+//      flexible generic solver cannot commit compress chains early:
+//      the problem is solved by the full O(log n)-depth decomposition
+//      schedule instead — prediction kGenericLogN.
+//   3. the constant-good test (Theorem 7, bw::decide_constant_good):
+//      constant-good => kConstant; otherwise compress chains must be
+//      split at Theta(log* n) cost => kLogStar.
+//
+// Classification canonicalizes the table first (lclgen's
+// label-permutation representative), which makes predictions invariant
+// under relabeling *by construction* — the canonical-rectangle
+// tie-breaks in the testing procedure are label-order dependent, so
+// classifying raw tables would not be.
+//
+// `classify_empirical` is the measurement-side counterpart: it maps the
+// pooled node-averaged measurements of the problem_sweep scenario (two
+// instance sizes, certified runs only) back onto the same four classes
+// using scale-free growth/magnitude rules documented at the constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bw/constant_good.hpp"
+#include "bw/path_lcl.hpp"
+#include "core/landscape.hpp"
+#include "graph/tree.hpp"
+#include "problems/lclgen.hpp"
+
+namespace lcl::problems {
+
+/// The four-way prediction of the generic-algorithm pipeline.
+enum class ProblemClass : int {
+  kConstant = 0,     ///< constant-good: O(1) node-averaged
+  kLogStar = 1,      ///< compress chains need splitting: (log* n)^{Theta(1)}
+  kGenericLogN = 2,  ///< exact-DP schedule only: Theta(log n) for all nodes
+  kUnsolvable = 3,   ///< some bounded-degree tree admits no labeling
+};
+
+[[nodiscard]] std::string to_string(ProblemClass c);
+
+/// Outcome of the exact rake feasibility closure (step 1 above). The
+/// closure's failure is constructive — every reachable label-set is
+/// realized by a concrete subtree (a leaf realizes the leaf set, a node
+/// over child recipes realizes its extension set) — so on failure the
+/// closure *builds* the witness: a bounded-degree tree instance with no
+/// valid labeling, which the problem_sweep scenario feeds back to the
+/// independent solver as the empirical confirmation of unsolvability.
+/// Witness expansion duplicates shared sub-recipes (trees, not DAGs) and
+/// is abandoned past ~2*10^5 nodes (`has_witness == false`).
+struct TreeTesting {
+  bool good = true;
+  int reachable_sets = 0;  ///< distinct label-sets in the closure
+  std::string failure;     ///< witness description when !good
+  bool has_witness = false;
+  graph::Tree witness;     ///< infeasible instance (when has_witness)
+};
+
+[[nodiscard]] TreeTesting tree_testing(const BwTable& table);
+
+/// The table's compress-path problem: degree-2 rows as the symmetric
+/// adjacency relation, degree-1 rows as both boundary sets.
+[[nodiscard]] bw::PathLcl path_restriction(const BwTable& table);
+
+/// Full classification record.
+struct Classification {
+  ProblemClass predicted = ProblemClass::kUnsolvable;
+  bw::PathComplexity path_class = bw::PathComplexity::kUnsolvable;
+  bool tree_good = false;      ///< exact closure clean
+  bool testing_good = false;   ///< rectangle testing procedure clean
+  bool constant_good = false;  ///< Theorem-7 verdict
+  std::string rationale;       ///< one-line why
+  core::LandscapeRegion region;  ///< the landscape row the class lands in
+};
+
+[[nodiscard]] Classification classify_table(const BwTable& table);
+
+/// Landscape row for a predicted class. kConstant and kLogStar bind to
+/// the Figure-2 rows via core::find_region; the two generic-schedule
+/// outcomes get synthesized rows (they describe the generic algorithm's
+/// cost, not a realizable landscape class).
+[[nodiscard]] core::LandscapeRegion landscape_region(ProblemClass c);
+
+/// Pooled measurements of one problem across the sweep's families, at
+/// the sweep's two instance sizes.
+struct EmpiricalSignal {
+  double na_small = 0.0;  ///< pooled node-average at the small size
+  double na_large = 0.0;  ///< pooled node-average at the large size
+  std::int64_t n_small = 0;
+  std::int64_t n_large = 0;
+  bool any_infeasible = false;  ///< some instance admitted no labeling
+};
+
+/// Decision thresholds of the empirical classifier, shared with the
+/// tests. The generic schedule charges ~2 peel steps per decomposition
+/// layer, so a kGenericLogN run's node-average tracks ~2 log n and grows
+/// by ~log(n_large)/log(n_small) between the sizes, while kConstant and
+/// kLogStar averages are flat in n (log* is constant at these scales —
+/// the split surcharge kSplitNaThreshold separates them by magnitude:
+/// splitting costs >= kSplitPad + cv_total_rounds(n) ~ 40 rounds per
+/// compress node, no constant-good problem averages anywhere near it).
+inline constexpr double kLogNGrowthThreshold = 1.18;
+inline constexpr double kLogNMinNa = 6.0;
+inline constexpr double kSplitNaThreshold = 8.0;
+
+[[nodiscard]] ProblemClass classify_empirical(const EmpiricalSignal& s);
+
+}  // namespace lcl::problems

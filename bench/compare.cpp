@@ -1,12 +1,15 @@
 #include "compare.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/json.hpp"
+#include "core/snapshot.hpp"
 
 namespace lcl::bench {
 
@@ -163,8 +166,8 @@ int compare_snapshots(const std::string& old_path,
   Value old_snap;
   Value new_snap;
   try {
-    old_snap = core::json::parse_file(old_path);
-    new_snap = core::json::parse_file(new_path);
+    old_snap = core::snapshot::load_any(old_path);
+    new_snap = core::snapshot::load_any(new_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lclbench --compare: %s\n", e.what());
     return 2;
@@ -259,6 +262,288 @@ int compare_snapshots(const std::string& old_path,
   }
   std::printf(
       "summary: %d series compared, %d regression(s), %d warning(s)\n",
+      tally.series_compared, tally.regressions, tally.warnings);
+  return tally.regressions > 0 ? 1 : 0;
+}
+
+namespace {
+
+/// One loaded history entry, in chronological order after sorting.
+struct HistoryEntry {
+  std::string path;
+  std::string timestamp;
+  Value snap;
+};
+
+const Value* find_series(const Value& snap, const std::string& scenario,
+                         const std::string& title) {
+  const Value* scenarios = snap.find("scenarios");
+  if (scenarios == nullptr) return nullptr;
+  const Value* sc = find_by_key(*scenarios, "name", scenario);
+  if (sc == nullptr) return nullptr;
+  const Value* series = sc->find("series");
+  if (series == nullptr) return nullptr;
+  return find_by_key(*series, "title", title);
+}
+
+/// Strictly one-directional movement with at least one nonzero step —
+/// the shape of a drift, as opposed to measurement noise wobbling
+/// around a level.
+bool is_monotone(const std::vector<double>& w) {
+  bool up = true;
+  bool down = true;
+  bool moved = false;
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    if (w[i] < w[i - 1]) up = false;
+    if (w[i] > w[i - 1]) down = false;
+    if (w[i] != w[i - 1]) moved = true;
+  }
+  return moved && (up || down);
+}
+
+std::string trajectory_str(const std::vector<double>& values,
+                           const char* fmt) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), fmt, values[i]);
+    if (i > 0) out += " -> ";
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+int history_snapshots(const std::vector<std::string>& paths,
+                      const HistoryOptions& opts) {
+  if (paths.size() < 2) {
+    std::fprintf(stderr,
+                 "lclbench --history: needs at least 2 snapshots, got "
+                 "%zu\n",
+                 paths.size());
+    return 2;
+  }
+
+  std::vector<HistoryEntry> history;
+  history.reserve(paths.size());
+  for (const std::string& path : paths) {
+    HistoryEntry e;
+    e.path = path;
+    try {
+      e.snap = core::snapshot::load_any(path);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "lclbench --history: %s\n", ex.what());
+      return 2;
+    }
+    if (schema_version(e.snap.get_string("schema", "")) < 0) {
+      std::fprintf(stderr,
+                   "lclbench --history: %s has unknown schema '%s'\n",
+                   path.c_str(), e.snap.get_string("schema", "").c_str());
+      return 2;
+    }
+    if (const Value* sc = e.snap.find("scenarios");
+        sc == nullptr || !sc->is_array()) {
+      std::fprintf(stderr,
+                   "lclbench --history: %s missing \"scenarios\"\n",
+                   path.c_str());
+      return 2;
+    }
+    e.timestamp = e.snap.get_string("timestamp", "");
+    history.push_back(std::move(e));
+  }
+  // Chronological order: ISO-8601 timestamps sort lexicographically;
+  // the stable sort keeps untimestamped snapshots in argument order.
+  std::stable_sort(history.begin(), history.end(),
+                   [](const HistoryEntry& a, const HistoryEntry& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+
+  const int n = static_cast<int>(history.size());
+  const int window = std::min(std::max(opts.window, 2), n);
+  std::printf("history of %d snapshots (trend window %d):\n", n, window);
+  for (const HistoryEntry& e : history) {
+    std::printf("  %s  %s (%s)\n",
+                e.timestamp.empty() ? "(no timestamp)  "
+                                    : e.timestamp.c_str(),
+                e.path.c_str(), e.snap.get_string("schema", "?").c_str());
+  }
+
+  Tally tally;
+  const HistoryEntry& latest = history.back();
+  const HistoryEntry& previous = history[history.size() - 2];
+
+  // Schema must never move backwards along the history.
+  int max_seen = -1;
+  for (const HistoryEntry& e : history) {
+    const int v = schema_version(e.snap.get_string("schema", ""));
+    if (v < max_seen) {
+      tally.regression(e.path + ": schema downgraded to " +
+                       e.snap.get_string("schema", "") +
+                       " mid-history");
+    }
+    max_seen = std::max(max_seen, v);
+  }
+
+  // Collect the series universe in first-appearance order, and the
+  // scenario universe likewise.
+  std::vector<std::pair<std::string, std::string>> series_keys;
+  std::vector<std::string> scenario_names;
+  for (const HistoryEntry& e : history) {
+    for (const Value& sc : e.snap.find("scenarios")->array) {
+      const std::string name = sc.get_string("name", "?");
+      if (std::find(scenario_names.begin(), scenario_names.end(), name) ==
+          scenario_names.end()) {
+        scenario_names.push_back(name);
+      }
+      const Value* series = sc.find("series");
+      if (series == nullptr || !series->is_array()) continue;
+      for (const Value& se : series->array) {
+        const std::pair<std::string, std::string> key = {
+            name, se.get_string("title", "?")};
+        if (std::find(series_keys.begin(), series_keys.end(), key) ==
+            series_keys.end()) {
+          series_keys.push_back(key);
+        }
+      }
+    }
+  }
+
+  // Per-scenario wall trajectories (reported always, gated by
+  // --tol-wall over the window).
+  for (const std::string& name : scenario_names) {
+    std::vector<double> walls;
+    for (const HistoryEntry& e : history) {
+      const Value* sc =
+          find_by_key(*e.snap.find("scenarios"), "name", name);
+      walls.push_back(sc == nullptr ? -1.0
+                                    : sc->get_number("wall_ms", -1.0));
+    }
+    std::printf("  %-22s wall %s ms\n", name.c_str(),
+                trajectory_str(walls, "%.0f").c_str());
+    const std::vector<double> w(walls.end() - window, walls.end());
+    if (opts.tol_wall > 0.0 &&
+        std::all_of(w.begin(), w.end(), [](double v) { return v > 0.0; }) &&
+        is_monotone(w) && w.back() > w.front() &&
+        w.back() / w.front() > opts.tol_wall) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "wall time drifted %.2fx over %d snapshots (> %.2fx)",
+                    w.back() / w.front(), window, opts.tol_wall);
+      tally.regression(name + ": " + buf);
+    }
+  }
+
+  for (const auto& [scenario, title] : series_keys) {
+    ++tally.series_compared;
+    const std::string where = scenario + " / \"" + title + "\"";
+
+    // Coverage: a series the previous snapshot had must not vanish from
+    // the latest, and its sweep must not shrink.
+    const Value* prev_series = find_series(previous.snap, scenario, title);
+    const Value* last_series = find_series(latest.snap, scenario, title);
+    if (prev_series != nullptr && last_series == nullptr) {
+      if (opts.allow_missing) {
+        tally.warning(where + ": series missing from latest snapshot");
+      } else {
+        tally.regression(where + ": series missing from latest snapshot");
+      }
+      continue;
+    }
+    if (last_series == nullptr) continue;  // long-gone series: ignore
+    if (prev_series != nullptr) {
+      const int prev_count = count_runs(*prev_series);
+      const int last_count = count_runs(*last_series);
+      if (last_count < prev_count) {
+        tally.regression(where + ": only " + std::to_string(last_count) +
+                         " runs recorded (was " +
+                         std::to_string(prev_count) + ")");
+      }
+      const int prev_bad = count_not_ok(*prev_series);
+      const int last_bad = count_not_ok(*last_series);
+      if (last_bad > prev_bad) {
+        tally.regression(where + ": " + std::to_string(last_bad) +
+                         " non-ok runs (was " + std::to_string(prev_bad) +
+                         ")");
+      }
+    }
+
+    // Sustained exponent drift across the window: every step in one
+    // direction, total beyond tolerance — even when each pairwise step
+    // is individually under --tol-exponent.
+    if (window >= 3) {
+      std::vector<double> fits;
+      bool all_fitted = true;
+      for (int i = n - window; i < n; ++i) {
+        const Value* se =
+            find_series(history[static_cast<std::size_t>(i)].snap,
+                        scenario, title);
+        const Value* fit = se == nullptr ? nullptr
+                                         : se->find("fitted_exponent");
+        if (fit == nullptr) {
+          all_fitted = false;
+          break;
+        }
+        fits.push_back(fit->number_or(0.0));
+      }
+      if (all_fitted && is_monotone(fits) &&
+          std::abs(fits.back() - fits.front()) > opts.tol_exponent) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      " (total %.4f > %.4f over %d snapshots)",
+                      std::abs(fits.back() - fits.front()),
+                      opts.tol_exponent, window);
+        tally.regression(where + ": sustained exponent drift " +
+                         trajectory_str(fits, "%.4f") + buf);
+      }
+
+      // Sustained node-averaged drift at matching scales (opt-in).
+      if (opts.tol_avg > 0.0) {
+        const Value* last_runs = last_series->find("runs");
+        if (last_runs != nullptr && last_runs->is_array()) {
+          for (const Value& anchor : last_runs->array) {
+            if (!run_ok(anchor)) continue;
+            const double scale = anchor.get_number("scale", -1.0);
+            std::vector<double> avgs;
+            bool complete = true;
+            for (int i = n - window; i < n && complete; ++i) {
+              const Value* se =
+                  find_series(history[static_cast<std::size_t>(i)].snap,
+                              scenario, title);
+              const Value* runs = se == nullptr ? nullptr
+                                                : se->find("runs");
+              complete = false;
+              if (runs == nullptr || !runs->is_array()) break;
+              for (const Value& run : runs->array) {
+                if (run.get_number("scale", -2.0) == scale &&
+                    run_ok(run)) {
+                  avgs.push_back(run.get_number("node_averaged", 0.0));
+                  complete = true;
+                  break;
+                }
+              }
+            }
+            if (complete && avgs.front() > 0.0 && is_monotone(avgs) &&
+                std::abs(avgs.back() / avgs.front() - 1.0) >
+                    opts.tol_avg) {
+              char buf[192];
+              std::snprintf(buf, sizeof(buf),
+                            "node-averaged at scale %.0f drifted %.1f%% "
+                            "over %d snapshots (%s)",
+                            scale,
+                            100.0 * (avgs.back() / avgs.front() - 1.0),
+                            window, trajectory_str(avgs, "%.3f").c_str());
+              tally.regression(where + ": " + buf);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::printf(
+      "history summary: %d series tracked, %d regression(s), "
+      "%d warning(s)\n",
       tally.series_compared, tally.regressions, tally.warnings);
   return tally.regressions > 0 ? 1 : 0;
 }

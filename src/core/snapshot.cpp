@@ -1,0 +1,799 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lcl::core::snapshot {
+
+namespace {
+
+using json::Value;
+
+// ---------------------------------------------------------------------------
+// Wire primitives.
+// ---------------------------------------------------------------------------
+
+/// Value tags (one byte each). Appending new tags is a format-version
+/// bump: old readers must reject rather than misparse.
+enum : std::uint8_t {
+  kTagNull = 0,
+  kTagFalse = 1,
+  kTagTrue = 2,
+  kTagNumber = 3,   ///< number subtag + payload (see put_number)
+  kTagStrNew = 4,   ///< varint length + bytes; assigns the next pool id
+  kTagStrRef = 5,   ///< varint pool id of an already-seen string
+  kTagArray = 6,    ///< varint count + elements
+  kTagObject = 7,   ///< varint count + (pooled key, value) pairs
+  kTagRuns = 8,     ///< columnar run-record array (see encode_runs)
+};
+
+/// Number subtags: 0 = integral zigzag varint, 1..8 = decimal-scaled
+/// (value * 10^k is an exactly-representable integer, verified at
+/// encode time), 9 = raw little-endian IEEE-754 bits.
+enum : std::uint8_t { kNumInt = 0, kNumF64 = 9 };
+
+constexpr double kPow10[9] = {1.0,    1e1, 1e2, 1e3, 1e4,
+                              1e5,    1e6, 1e7, 1e8};
+constexpr double kIntWindow = 9007199254740992.0;  // 2^53
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out += static_cast<char>(0x80 | (v & 0x7F));
+    v >>= 7;
+  }
+  out += static_cast<char>(v);
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void put_svarint(std::string& out, std::int64_t v) {
+  put_varint(out, zigzag(v));
+}
+
+/// Integral double in the exactly-representable window, excluding -0.0
+/// (whose sign bit a varint would drop).
+bool is_plain_int(double v) {
+  return v == std::floor(v) && v >= -kIntWindow && v <= kIntWindow &&
+         !(v == 0.0 && std::signbit(v));
+}
+
+/// Smallest k in 1..8 such that v * 10^k is an exactly-representable
+/// integer whose rescaling reproduces v bit-for-bit; 0 when none.
+int decimal_exponent(double v) {
+  for (int k = 1; k <= 8; ++k) {
+    const double scaled = v * kPow10[k];
+    if (!(scaled >= -kIntWindow && scaled <= kIntWindow)) continue;
+    const auto c = static_cast<std::int64_t>(std::llround(scaled));
+    if (static_cast<double>(c) / kPow10[k] == v && c != 0) return k;
+  }
+  return 0;
+}
+
+/// One number, subtag + payload. Lossless: every branch decodes back to
+/// the original bit pattern (the int/dec branches are verified
+/// reconstructions, the f64 branch is the bit pattern itself).
+void put_number(std::string& out, double v) {
+  if (std::isfinite(v) && is_plain_int(v)) {
+    out += static_cast<char>(kNumInt);
+    put_svarint(out, static_cast<std::int64_t>(v));
+    return;
+  }
+  if (std::isfinite(v)) {
+    if (const int k = decimal_exponent(v); k != 0) {
+      out += static_cast<char>(k);
+      put_svarint(out,
+                  static_cast<std::int64_t>(std::llround(v * kPow10[k])));
+      return;
+    }
+  }
+  out += static_cast<char>(kNumF64);
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out += static_cast<char>((bits >> (8 * i)) & 0xFF);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked reader over memory or a stream (fixed 64 KiB buffer, so
+// read_file never materializes the whole payload).
+// ---------------------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::string_view mem) : mem_(mem), size_(mem.size()) {}
+  Reader(std::istream& stream, std::uint64_t size)
+      : stream_(&stream), buf_(64 * 1024), size_(size) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("lclb: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  [[nodiscard]] std::uint64_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() {
+    std::uint8_t b = 0;
+    bytes(&b, 1);
+    return b;
+  }
+
+  void bytes(void* dst, std::size_t n) {
+    if (n > remaining()) fail("unexpected end of stream");
+    if (stream_ == nullptr) {
+      std::memcpy(dst, mem_.data() + pos_, n);
+      pos_ += n;
+      return;
+    }
+    auto* out = static_cast<char*>(dst);
+    while (n > 0) {
+      if (buf_pos_ == buf_len_) refill();
+      const std::size_t take = std::min(n, buf_len_ - buf_pos_);
+      std::memcpy(out, buf_.data() + buf_pos_, take);
+      buf_pos_ += take;
+      out += take;
+      pos_ += take;
+      n -= take;
+    }
+  }
+
+  std::string str(std::size_t n) {
+    if (n > remaining()) fail("string length overruns the stream");
+    std::string s(n, '\0');
+    if (n > 0) bytes(s.data(), n);
+    return s;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    fail("overlong varint");
+  }
+
+  std::int64_t svarint() { return unzigzag(varint()); }
+
+  /// A count of elements that each occupy at least one byte: anything
+  /// beyond the remaining payload is corruption, caught before any
+  /// allocation sized by it.
+  std::size_t count() {
+    const std::uint64_t c = varint();
+    if (c > remaining()) fail("element count overruns the stream");
+    return static_cast<std::size_t>(c);
+  }
+
+  double number() {
+    const std::uint8_t sub = u8();
+    if (sub == kNumInt) return static_cast<double>(svarint());
+    if (sub >= 1 && sub <= 8) {
+      return static_cast<double>(svarint()) / kPow10[sub];
+    }
+    if (sub == kNumF64) {
+      std::uint8_t raw[8];
+      bytes(raw, 8);
+      std::uint64_t bits = 0;
+      for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+      }
+      return std::bit_cast<double>(bits);
+    }
+    fail("unknown number subtag " + std::to_string(sub));
+  }
+
+ private:
+  void refill() {
+    stream_->read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    buf_len_ = static_cast<std::size_t>(stream_->gcount());
+    buf_pos_ = 0;
+    if (buf_len_ == 0) fail("unexpected end of stream");
+  }
+
+  std::string_view mem_;
+  std::istream* stream_ = nullptr;
+  std::vector<char> buf_;
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_len_ = 0;
+  std::uint64_t pos_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The run-record schema: the fixed v1 column order (matching the
+// snapshot writer's emission order, so present keys of a canonical run
+// object are always a subsequence of this list).
+// ---------------------------------------------------------------------------
+
+enum class ColKind { kNum, kHist, kStr, kBool };
+
+struct ColumnSpec {
+  const char* key;
+  ColKind kind;
+};
+
+constexpr ColumnSpec kRunColumns[] = {
+    {"scale", ColKind::kNum},        {"n", ColKind::kNum},
+    {"node_averaged", ColKind::kNum}, {"worst_case", ColKind::kNum},
+    {"build_ms", ColKind::kNum},     {"term_p50", ColKind::kNum},
+    {"term_p90", ColKind::kNum},     {"term_p99", ColKind::kNum},
+    {"term_hist", ColKind::kHist},   {"reps", ColKind::kNum},
+    {"reps_ok", ColKind::kNum},      {"na_stddev", ColKind::kNum},
+    {"na_min", ColKind::kNum},       {"na_max", ColKind::kNum},
+    {"status", ColKind::kStr},       {"valid", ColKind::kBool},
+    {"check_reason", ColKind::kStr},
+};
+constexpr int kNumRunColumns =
+    static_cast<int>(sizeof(kRunColumns) / sizeof(kRunColumns[0]));
+
+int column_index(const std::string& key) {
+  for (int i = 0; i < kNumRunColumns; ++i) {
+    if (key == kRunColumns[i].key) return i;
+  }
+  return -1;
+}
+
+bool value_matches_kind(const Value& v, ColKind kind) {
+  switch (kind) {
+    case ColKind::kNum: return v.type == Value::Type::kNumber;
+    case ColKind::kStr: return v.type == Value::Type::kString;
+    case ColKind::kBool: return v.type == Value::Type::kBool;
+    case ColKind::kHist:
+      if (v.type != Value::Type::kArray) return false;
+      for (const Value& e : v.array) {
+        if (e.type != Value::Type::kNumber) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+/// A non-empty array qualifies for columnar encoding iff every element
+/// is an object whose keys are distinct, drawn from the v1 column list,
+/// in strictly increasing column order (so rebuilding present columns
+/// in list order reproduces the original key order byte-for-byte), with
+/// kind-matching values.
+bool is_run_array(const Value& arr) {
+  if (!arr.is_array() || arr.array.empty()) return false;
+  for (const Value& e : arr.array) {
+    if (!e.is_object() || e.object.empty()) return false;
+    int prev = -1;
+    for (const auto& [key, value] : e.object) {
+      const int idx = column_index(key);
+      if (idx <= prev) return false;  // unknown key, dup, or reordered
+      if (!value_matches_kind(value, kRunColumns[idx].kind)) return false;
+      prev = idx;
+    }
+  }
+  return true;
+}
+
+// Column payload encodings (first payload byte of each present column).
+enum : std::uint8_t {
+  kNumColDelta = 0,    ///< first value + zigzag deltas (all integral)
+  kNumColGeneric = 1,  ///< per-row put_number
+  kNumColDup = 2,      ///< byte-identical to an earlier numeric column
+  kStrColConst = 0,    ///< one pooled string for every present row
+  kStrColPerRow = 1,   ///< pooled string per present row
+  kHistColInt = 0,     ///< per row: varint length + zigzag varints
+  kHistColGeneric = 1, ///< per row: varint length + put_number each
+};
+
+// Column presence descriptors.
+enum : std::uint8_t { kColAbsent = 0, kColAll = 1, kColMixed = 2 };
+
+// ---------------------------------------------------------------------------
+// Encoder.
+// ---------------------------------------------------------------------------
+
+class Encoder {
+ public:
+  explicit Encoder(std::string& out) : out_(out) {}
+
+  void value(const Value& v) {
+    switch (v.type) {
+      case Value::Type::kNull: out_ += static_cast<char>(kTagNull); break;
+      case Value::Type::kBool:
+        out_ += static_cast<char>(v.boolean ? kTagTrue : kTagFalse);
+        break;
+      case Value::Type::kNumber:
+        out_ += static_cast<char>(kTagNumber);
+        put_number(out_, v.number);
+        break;
+      case Value::Type::kString: string(v.str); break;
+      case Value::Type::kArray:
+        if (is_run_array(v)) {
+          runs(v);
+        } else {
+          out_ += static_cast<char>(kTagArray);
+          put_varint(out_, v.array.size());
+          for (const Value& e : v.array) value(e);
+        }
+        break;
+      case Value::Type::kObject:
+        out_ += static_cast<char>(kTagObject);
+        put_varint(out_, v.object.size());
+        for (const auto& [key, member] : v.object) {
+          string(key);
+          value(member);
+        }
+        break;
+    }
+  }
+
+ private:
+  /// One gathered run column: presence per row plus the present values
+  /// in row order.
+  struct Column {
+    std::vector<bool> present;
+    std::vector<const Value*> values;
+  };
+
+  void string(const std::string& s) {
+    // Adaptive pool: linear scan is fine at snapshot scale (the pool
+    // holds distinct strings only, dominated by keys and statuses).
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (*pool_[i] == s) {
+        out_ += static_cast<char>(kTagStrRef);
+        put_varint(out_, i);
+        return;
+      }
+    }
+    out_ += static_cast<char>(kTagStrNew);
+    put_varint(out_, s.size());
+    out_ += s;
+    pool_.push_back(&s);
+  }
+
+  void presence_bitmap(const std::vector<bool>& present) {
+    std::uint8_t byte = 0;
+    for (std::size_t i = 0; i < present.size(); ++i) {
+      if (present[i]) byte |= static_cast<std::uint8_t>(1U << (i % 8));
+      if (i % 8 == 7 || i + 1 == present.size()) {
+        out_ += static_cast<char>(byte);
+        byte = 0;
+      }
+    }
+  }
+
+  void runs(const Value& arr) {
+    const std::size_t m = arr.array.size();
+    out_ += static_cast<char>(kTagRuns);
+    put_varint(out_, m);
+
+    // Gather per-column presence and value pointers.
+    std::vector<Column> cols(kNumRunColumns);
+    for (auto& c : cols) c.present.assign(m, false);
+    for (std::size_t row = 0; row < m; ++row) {
+      for (const auto& [key, value] : arr.array[row].object) {
+        const int idx = column_index(key);
+        cols[static_cast<std::size_t>(idx)].present[row] = true;
+        cols[static_cast<std::size_t>(idx)].values.push_back(&value);
+      }
+    }
+
+    // Presence descriptors for all columns, then payloads in order.
+    for (const Column& c : cols) {
+      const std::size_t p = c.values.size();
+      if (p == 0) {
+        out_ += static_cast<char>(kColAbsent);
+      } else if (p == m) {
+        out_ += static_cast<char>(kColAll);
+      } else {
+        out_ += static_cast<char>(kColMixed);
+        presence_bitmap(c.present);
+      }
+    }
+    for (int ci = 0; ci < kNumRunColumns; ++ci) {
+      const Column& c = cols[static_cast<std::size_t>(ci)];
+      if (c.values.empty()) continue;
+      switch (kRunColumns[ci].kind) {
+        case ColKind::kNum: num_column(cols, ci); break;
+        case ColKind::kHist: hist_column(c); break;
+        case ColKind::kStr: str_column(c); break;
+        case ColKind::kBool: bool_column(c); break;
+      }
+    }
+  }
+
+  void num_column(const std::vector<Column>& cols, int ci) {
+    const Column& c = cols[static_cast<std::size_t>(ci)];
+    // Duplicate of an earlier numeric column (same rows, same bits)?
+    // na_min/na_max collapse onto node_averaged this way at reps == 1.
+    for (int j = 0; j < ci; ++j) {
+      const Column& src = cols[static_cast<std::size_t>(j)];
+      if (kRunColumns[j].kind != ColKind::kNum) continue;
+      if (src.present != c.present) continue;
+      bool same = true;
+      for (std::size_t r = 0; r < c.values.size() && same; ++r) {
+        same = std::bit_cast<std::uint64_t>(c.values[r]->number) ==
+               std::bit_cast<std::uint64_t>(src.values[r]->number);
+      }
+      if (same) {
+        out_ += static_cast<char>(kNumColDup);
+        out_ += static_cast<char>(j);
+        return;
+      }
+    }
+    bool all_int = true;
+    for (const Value* v : c.values) {
+      if (!is_plain_int(v->number)) {
+        all_int = false;
+        break;
+      }
+    }
+    if (all_int) {
+      out_ += static_cast<char>(kNumColDelta);
+      std::int64_t prev = 0;
+      for (std::size_t r = 0; r < c.values.size(); ++r) {
+        const auto v = static_cast<std::int64_t>(c.values[r]->number);
+        put_svarint(out_, r == 0 ? v : v - prev);
+        prev = v;
+      }
+      return;
+    }
+    out_ += static_cast<char>(kNumColGeneric);
+    for (const Value* v : c.values) put_number(out_, v->number);
+  }
+
+  void hist_column(const Column& c) {
+    bool all_int = true;
+    for (const Value* v : c.values) {
+      for (const Value& e : v->array) {
+        if (!is_plain_int(e.number)) {
+          all_int = false;
+          break;
+        }
+      }
+    }
+    out_ += static_cast<char>(all_int ? kHistColInt : kHistColGeneric);
+    for (const Value* v : c.values) {
+      put_varint(out_, v->array.size());
+      for (const Value& e : v->array) {
+        if (all_int) {
+          put_svarint(out_, static_cast<std::int64_t>(e.number));
+        } else {
+          put_number(out_, e.number);
+        }
+      }
+    }
+  }
+
+  void str_column(const Column& c) {
+    bool constant = true;
+    for (const Value* v : c.values) {
+      if (v->str != c.values[0]->str) {
+        constant = false;
+        break;
+      }
+    }
+    if (constant) {
+      out_ += static_cast<char>(kStrColConst);
+      string(c.values[0]->str);
+    } else {
+      out_ += static_cast<char>(kStrColPerRow);
+      for (const Value* v : c.values) string(v->str);
+    }
+  }
+
+  void bool_column(const Column& c) {
+    std::vector<bool> bits;
+    bits.reserve(c.values.size());
+    for (const Value* v : c.values) bits.push_back(v->boolean);
+    presence_bitmap(bits);
+  }
+
+  std::string& out_;
+  std::vector<const std::string*> pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Decoder.
+// ---------------------------------------------------------------------------
+
+class Decoder {
+ public:
+  explicit Decoder(Reader& in) : in_(in) {}
+
+  Value value() { return value_at_depth(0); }
+
+ private:
+  /// Nesting guard: a corrupt stream must not be able to recurse the
+  /// decoder off the stack.
+  static constexpr int kMaxDepth = 192;
+
+  Value value_at_depth(int depth) {
+    if (depth > kMaxDepth) in_.fail("nesting too deep");
+    const std::uint8_t tag = in_.u8();
+    Value v;
+    switch (tag) {
+      case kTagNull: return v;
+      case kTagFalse:
+      case kTagTrue:
+        v.type = Value::Type::kBool;
+        v.boolean = tag == kTagTrue;
+        return v;
+      case kTagNumber:
+        v.type = Value::Type::kNumber;
+        v.number = in_.number();
+        return v;
+      case kTagStrNew:
+      case kTagStrRef:
+        v.type = Value::Type::kString;
+        v.str = string(tag);
+        return v;
+      case kTagArray: {
+        v.type = Value::Type::kArray;
+        const std::size_t count = in_.count();
+        v.array.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          v.array.push_back(value_at_depth(depth + 1));
+        }
+        return v;
+      }
+      case kTagObject: {
+        v.type = Value::Type::kObject;
+        const std::size_t count = in_.count();
+        v.object.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          std::string key = string(in_.u8());
+          v.object.emplace_back(std::move(key), value_at_depth(depth + 1));
+        }
+        return v;
+      }
+      case kTagRuns: return runs();
+      default: in_.fail("unknown value tag " + std::to_string(tag));
+    }
+  }
+
+  std::string string(std::uint8_t tag) {
+    if (tag == kTagStrNew) {
+      const std::size_t len = in_.count();
+      pool_.push_back(in_.str(len));
+      return pool_.back();
+    }
+    if (tag == kTagStrRef) {
+      const std::uint64_t id = in_.varint();
+      if (id >= pool_.size()) in_.fail("string pool id out of range");
+      return pool_[static_cast<std::size_t>(id)];
+    }
+    in_.fail("expected a string tag, got " + std::to_string(tag));
+  }
+
+  std::vector<bool> bitmap(std::size_t n) {
+    std::vector<bool> bits(n);
+    std::uint8_t byte = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 8 == 0) byte = in_.u8();
+      bits[i] = (byte >> (i % 8)) & 1;
+    }
+    return bits;
+  }
+
+  Value runs() {
+    const std::size_t m = in_.count();
+    if (m == 0) in_.fail("empty run-columnar array");
+
+    std::vector<std::vector<bool>> present(kNumRunColumns);
+    for (int ci = 0; ci < kNumRunColumns; ++ci) {
+      const std::uint8_t desc = in_.u8();
+      if (desc == kColAbsent) {
+        present[static_cast<std::size_t>(ci)].assign(m, false);
+      } else if (desc == kColAll) {
+        present[static_cast<std::size_t>(ci)].assign(m, true);
+      } else if (desc == kColMixed) {
+        present[static_cast<std::size_t>(ci)] = bitmap(m);
+      } else {
+        in_.fail("bad column presence descriptor " + std::to_string(desc));
+      }
+    }
+
+    // Decode column payloads. Columns are materialized as Values in
+    // present-row order; rows are then reassembled in column order.
+    std::vector<std::vector<Value>> columns(kNumRunColumns);
+    std::vector<std::vector<double>> numbers(kNumRunColumns);
+    for (int ci = 0; ci < kNumRunColumns; ++ci) {
+      const auto& pres = present[static_cast<std::size_t>(ci)];
+      const auto p = static_cast<std::size_t>(
+          std::count(pres.begin(), pres.end(), true));
+      if (p == 0) continue;
+      auto& out = columns[static_cast<std::size_t>(ci)];
+      out.reserve(p);
+      switch (kRunColumns[ci].kind) {
+        case ColKind::kNum: {
+          std::vector<double>& nums = numbers[static_cast<std::size_t>(ci)];
+          nums.reserve(p);
+          const std::uint8_t enc = in_.u8();
+          if (enc == kNumColDelta) {
+            std::int64_t acc = 0;
+            for (std::size_t r = 0; r < p; ++r) {
+              acc = r == 0 ? in_.svarint() : acc + in_.svarint();
+              nums.push_back(static_cast<double>(acc));
+            }
+          } else if (enc == kNumColGeneric) {
+            for (std::size_t r = 0; r < p; ++r) {
+              nums.push_back(in_.number());
+            }
+          } else if (enc == kNumColDup) {
+            const std::uint8_t src = in_.u8();
+            if (src >= ci || kRunColumns[src].kind != ColKind::kNum ||
+                numbers[src].size() != p) {
+              in_.fail("bad duplicate-column reference");
+            }
+            nums = numbers[src];
+          } else {
+            in_.fail("unknown numeric column encoding " +
+                     std::to_string(enc));
+          }
+          for (const double d : nums) {
+            Value v;
+            v.type = Value::Type::kNumber;
+            v.number = d;
+            out.push_back(std::move(v));
+          }
+          break;
+        }
+        case ColKind::kHist: {
+          const std::uint8_t enc = in_.u8();
+          if (enc != kHistColInt && enc != kHistColGeneric) {
+            in_.fail("unknown histogram column encoding " +
+                     std::to_string(enc));
+          }
+          for (std::size_t r = 0; r < p; ++r) {
+            Value arr;
+            arr.type = Value::Type::kArray;
+            const std::size_t len = in_.count();
+            arr.array.reserve(len);
+            for (std::size_t i = 0; i < len; ++i) {
+              Value e;
+              e.type = Value::Type::kNumber;
+              e.number = enc == kHistColInt
+                             ? static_cast<double>(in_.svarint())
+                             : in_.number();
+              arr.array.push_back(std::move(e));
+            }
+            out.push_back(std::move(arr));
+          }
+          break;
+        }
+        case ColKind::kStr: {
+          const std::uint8_t enc = in_.u8();
+          if (enc == kStrColConst) {
+            const std::string s = string(in_.u8());
+            for (std::size_t r = 0; r < p; ++r) {
+              Value v;
+              v.type = Value::Type::kString;
+              v.str = s;
+              out.push_back(std::move(v));
+            }
+          } else if (enc == kStrColPerRow) {
+            for (std::size_t r = 0; r < p; ++r) {
+              Value v;
+              v.type = Value::Type::kString;
+              v.str = string(in_.u8());
+              out.push_back(std::move(v));
+            }
+          } else {
+            in_.fail("unknown string column encoding " +
+                     std::to_string(enc));
+          }
+          break;
+        }
+        case ColKind::kBool: {
+          const std::vector<bool> bits = bitmap(p);
+          for (std::size_t r = 0; r < p; ++r) {
+            Value v;
+            v.type = Value::Type::kBool;
+            v.boolean = bits[r];
+            out.push_back(std::move(v));
+          }
+          break;
+        }
+      }
+    }
+
+    // Reassemble rows: present columns in list order, which is exactly
+    // the key order the encoder required of the source objects.
+    Value arr;
+    arr.type = Value::Type::kArray;
+    arr.array.reserve(m);
+    std::vector<std::size_t> cursor(kNumRunColumns, 0);
+    for (std::size_t row = 0; row < m; ++row) {
+      Value obj;
+      obj.type = Value::Type::kObject;
+      for (int ci = 0; ci < kNumRunColumns; ++ci) {
+        if (!present[static_cast<std::size_t>(ci)][row]) continue;
+        auto& cur = cursor[static_cast<std::size_t>(ci)];
+        obj.object.emplace_back(
+            kRunColumns[ci].key,
+            std::move(columns[static_cast<std::size_t>(ci)][cur]));
+        ++cur;
+      }
+      arr.array.push_back(std::move(obj));
+    }
+    return arr;
+  }
+
+  Reader& in_;
+  std::vector<std::string> pool_;
+};
+
+void check_header(Reader& in) {
+  char magic[4];
+  in.bytes(magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("lclb: bad magic (not a .lclb snapshot)");
+  }
+  const std::uint8_t version = in.u8();
+  if (version != kFormatVersion) {
+    throw std::runtime_error("lclb: unsupported format version " +
+                             std::to_string(version) + " (reader supports " +
+                             std::to_string(kFormatVersion) + ")");
+  }
+}
+
+Value decode_body(Reader& in) {
+  check_header(in);
+  Value v = Decoder(in).value();
+  if (in.remaining() != 0) {
+    in.fail("trailing garbage after document");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string encode(const Value& v) {
+  std::string out;
+  out.append(kMagic, 4);
+  out += static_cast<char>(kFormatVersion);
+  Encoder(out).value(v);
+  return out;
+}
+
+Value decode(std::string_view bytes) {
+  Reader in(bytes);
+  return decode_body(in);
+}
+
+void write_file(const std::string& path, const Value& v) {
+  const std::string bytes = encode(v);
+  std::ofstream f(path, std::ios::binary);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw std::runtime_error("lclb: cannot write " + path);
+}
+
+Value read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw std::runtime_error("lclb: cannot open " + path);
+  const auto size = static_cast<std::uint64_t>(f.tellg());
+  f.seekg(0);
+  Reader in(f, size);
+  return decode_body(in);
+}
+
+bool is_snapshot_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  char magic[4] = {0, 0, 0, 0};
+  f.read(magic, 4);
+  return f.gcount() == 4 && std::memcmp(magic, kMagic, 4) == 0;
+}
+
+Value load_any(const std::string& path) {
+  return is_snapshot_file(path) ? read_file(path)
+                                : json::parse_file(path);
+}
+
+}  // namespace lcl::core::snapshot

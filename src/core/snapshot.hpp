@@ -1,0 +1,89 @@
+// Compact binary perf snapshots (.lclb): a versioned columnar encoding
+// of the lclbench JSON snapshot DOM.
+//
+// The split mirrors ACL's compressed_tracks design: `core::json` stays
+// the readable, lossless export/import view, and this codec is the
+// storage form the perf history actually accumulates. `encode` maps any
+// `core::json::Value` to bytes and `decode` maps them back to a Value
+// that is *dump-identical* to the input (`json::dump(decode(encode(v)))
+// == json::dump(v)`), so a snapshot can round-trip JSON -> binary ->
+// JSON byte-identically through the `core::json::dump` golden path with
+// zero information loss — including the 53-bit integral problem seeds.
+//
+// Wire format v1 (all multi-byte integers are LEB128 varints; signed
+// values are zigzag-mapped first; raw doubles are little-endian IEEE
+// bit patterns):
+//
+//   magic "LCLB" | u8 format version | one encoded value
+//
+// Value tags: null / false / true / number / string-new / string-ref /
+// array / object / run-columnar. Strings (keys and values alike) go
+// through one adaptive document-wide pool: the first occurrence is
+// written inline and assigns the next pool id, every repeat is a 1-2
+// byte reference — statuses, family names, and object keys collapse to
+// almost nothing. Numbers are never stored as text: an integral double
+// in the exactly-representable window [-2^53, 2^53] is a zigzag varint,
+// a short-decimal double (value * 10^k integral-representable for some
+// k <= 8, verified bit-exactly at encode time) is (k, varint), anything
+// else is the raw 8-byte bit pattern. All three decode to the original
+// bits.
+//
+// The size win comes from the run-columnar tag: an array whose elements
+// all look like lclbench run records (keys a subsequence of the fixed
+// v1 column order, expected types) is transposed into per-column
+// streams — presence bitmaps for optional columns, delta+zigzag varints
+// for integer-valued columns (n, worst_case, term percentiles, ...),
+// duplicate-column references (na_min/na_max == node_averaged at reps
+// 1), constant-string and bool-bitmap columns for status/valid, and
+// varint-run histograms. Arrays that do not match fall back to the
+// generic encoding, so losslessness never depends on the schema guess.
+//
+// Versioning rules: the format version is bumped whenever decode of
+// existing bytes would change (new tags, new run columns, changed
+// column order). The reader rejects unknown versions and bad magic with
+// a clear error rather than guessing, and every read is bounds-checked
+// so truncated or corrupt streams throw instead of over-allocating.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/json.hpp"
+
+namespace lcl::core::snapshot {
+
+/// "LCLB" — first four bytes of every .lclb file.
+inline constexpr char kMagic[4] = {'L', 'C', 'L', 'B'};
+/// Current wire-format version (byte 5 of the file).
+inline constexpr std::uint8_t kFormatVersion = 1;
+
+/// Encodes a JSON DOM into .lclb bytes (including magic + version).
+/// Deterministic: equal DOMs produce equal bytes, which is what lets a
+/// golden .lclb file pin the encoder.
+[[nodiscard]] std::string encode(const json::Value& v);
+
+/// Decodes .lclb bytes back into the JSON DOM. Throws
+/// `std::runtime_error` with a byte offset on bad magic, an unsupported
+/// version, truncation, or a corrupt stream.
+[[nodiscard]] json::Value decode(std::string_view bytes);
+
+/// Writes `encode(v)` to a file. Throws `std::runtime_error` when the
+/// file cannot be written.
+void write_file(const std::string& path, const json::Value& v);
+
+/// Streams a .lclb file through a fixed-size buffer into `decode`'s
+/// DOM — the whole file is never materialized as text. Throws like
+/// `decode`, plus on unreadable files.
+[[nodiscard]] json::Value read_file(const std::string& path);
+
+/// True when the file starts with the .lclb magic (sniffed, not guessed
+/// from the extension). False on unreadable or short files.
+[[nodiscard]] bool is_snapshot_file(const std::string& path);
+
+/// Loads a snapshot in either form: .lclb magic -> binary reader,
+/// anything else -> `json::parse_file`. The mixed-format entry point
+/// used by `lclbench --compare`, `--history`, and `--export`.
+[[nodiscard]] json::Value load_any(const std::string& path);
+
+}  // namespace lcl::core::snapshot

@@ -106,6 +106,32 @@ TEST(CliHardening, MissingValue) {
   expect_cli_failure({"--run"}, "lclbench: --run requires a value");
 }
 
+TEST(CliHardening, TrendWindowMustBeAtLeastTwo) {
+  expect_cli_failure({"--history", "a.lclb", "b.lclb", "--trend-window",
+                      "1"},
+                     "lclbench: --trend-window expects a window >= 2");
+}
+
+TEST(CliHardening, ExportNeedsBothPaths) {
+  expect_cli_failure({"--export", "only_in.json"},
+                     "lclbench: --export needs <in> <out>");
+  expect_cli_failure({"--export"}, "lclbench: --export requires a value");
+}
+
+TEST(CliHardening, HistoryNeedsTwoSnapshots) {
+  expect_cli_failure({"--history", "only_one.lclb"},
+                     "lclbench --history: needs at least 2 snapshots");
+  expect_cli_failure({"--history"},
+                     "lclbench: --history requires a value");
+}
+
+TEST(CliHardening, DuplicateSnapshotModeFlags) {
+  expect_cli_failure({"--binary", "a.lclb", "--binary", "b.lclb"},
+                     "lclbench: duplicate --binary");
+  expect_cli_failure({"--export", "a", "b", "--export", "c", "d"},
+                     "lclbench: duplicate --export");
+}
+
 TEST(CliHardening, RepeatableAlgoOptStaysRepeatable) {
   // Two --algo-opt pairs must NOT trip the duplicate detector; with a
   // bad scenario name the parse still has to get past both pairs to the

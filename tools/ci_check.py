@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CI assertion gates for lclbench smoke snapshots.
+
+Each subcommand checks one smoke JSON emitted by the workflow in
+.github/workflows/ci.yml (the assertions used to live there as inline
+heredocs; keeping them here makes them reviewable, reusable locally,
+and identical across workflows):
+
+    ci_check.py matrix   smoke_matrix.json    solver-matrix coverage
+    ci_check.py problems smoke_problems.json  sweep agreement + certification
+    ci_check.py all      smoke_all.json       full-registry run validity
+
+Exit status: 0 when every assertion holds, 1 with a message otherwise.
+Run locally with e.g.:
+
+    ./build/lclbench --run solver_matrix --n 0.02 --seed 5 \
+        --json smoke_matrix.json
+    python3 tools/ci_check.py matrix smoke_matrix.json
+"""
+
+import json
+import sys
+
+
+def check_matrix(d):
+    """Tiny-n certification of the solver x family cross-product:
+    every compatible cell ran, checked, and the matrix can't silently
+    shrink below its historical floor."""
+    m = d["scenarios"][0]["metrics"]
+    assert m["cells_check_failed"] == 0, m
+    assert m["cells_ok"] == m["cells_total"], m
+    assert m["cells_ok"] >= 30, m
+    assert len(d["algos"]) >= 10, d["algos"]
+    print(f"{int(m['cells_ok'])}/{int(m['cells_total'])} cells certified")
+
+
+def check_problems(d):
+    """Generator -> classifier -> certified agreement on the sampled
+    LCL sweep: deterministic in (--problem-seed, --n), so exact
+    agreement is assertable."""
+    assert d["problems"] == 20 and d["problem_seed"] == 1, d
+    m = d["scenarios"][0]["metrics"]
+    assert m["problems_total"] >= 20, m
+    assert m["problems_agree"] == m["problems_total"], m
+    assert m["problems_uncertified"] == 0, m
+    print(f"{int(m['problems_agree'])}/{int(m['problems_total'])} "
+          "problems agree, all runs certified")
+
+
+def check_all(d):
+    """Every registered scenario ran end to end and every run is
+    schema-complete and checker-valid."""
+    assert d["seed"] == 7, d["seed"]
+    assert len(d["families"]) >= 6, d["families"]
+    names = {s["name"] for s in d["scenarios"]}
+    assert "family_sweep" in names and "engine_micro" in names, names
+    assert "problem_sweep" in names, names
+    assert d["schema"] == "lclbench-v3", d["schema"]
+    bad = [(s["name"], se["title"], r.get("status"))
+           for s in d["scenarios"]
+           for se in s["series"]
+           for r in se["runs"] if not r["valid"]]
+    assert not bad, bad[:5]
+    runs = [r for s in d["scenarios"] for se in s["series"]
+            for r in se["runs"]]
+    assert all("term_hist" in r and "term_p99" in r and
+               "reps" in r and "na_stddev" in r for r in runs)
+    print(f"{len(d['scenarios'])} scenarios, all runs valid")
+
+
+CHECKS = {
+    "matrix": check_matrix,
+    "problems": check_problems,
+    "all": check_all,
+}
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in CHECKS:
+        subs = "|".join(sorted(CHECKS))
+        print(f"usage: {argv[0]} {{{subs}}} <snapshot.json>",
+              file=sys.stderr)
+        return 1
+    try:
+        with open(argv[2]) as f:
+            d = json.load(f)
+        CHECKS[argv[1]](d)
+    except (OSError, ValueError, KeyError, AssertionError) as e:
+        print(f"ci_check {argv[1]}: FAILED: {e!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

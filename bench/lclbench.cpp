@@ -1,7 +1,8 @@
 // Unified experiment runner: every paper scenario behind one CLI.
 // Flags (see cli_main in scenario.cpp): --list, --run <name|all>,
 // --n <scale>, --reps <r>, --threads <t>, --seed <s>,
-// --families <csv|all>, --json [path], --binary [path]; plus the
+// --engine <scalar|simd|auto>, --families <csv|all>, --json [path],
+// --binary [path]; plus the
 // snapshot tooling: the pairwise regression gate --compare <old> <new>,
 // the long-horizon trend gate --history <snap> <snap>...
 // [--trend-window <k>], and the lossless JSON <-> .lclb converter

@@ -16,6 +16,7 @@
 #include "core/json.hpp"
 #include "core/snapshot.hpp"
 #include "graph/families.hpp"
+#include "local/simd.hpp"
 
 namespace lcl::bench {
 
@@ -83,6 +84,9 @@ std::string render_json(const ScenarioOptions& opts,
   os << "  \"reps\": " << opts.reps << ",\n";
   os << "  \"threads\": " << opts.threads << ",\n";
   os << "  \"seed\": " << opts.seed << ",\n";
+  // Kernel provenance (additive to schema lclbench-v3): the resolved
+  // engine path ("scalar" or "simd") every run in this snapshot used.
+  os << "  \"engine\": \"" << json_escape(opts.engine) << "\",\n";
   // Problem-axis selection (additive to schema lclbench-v3): the
   // problem_sweep scenario's sampled-problem count and generator seed,
   // so snapshots pin exactly which LCLs were classified.
@@ -244,7 +248,8 @@ void print_usage() {
       "\n"
       "usage: lclbench [--list] [--list-algos] [--run <name|all>]\n"
       "                [--n <scale>] [--reps <r>] [--threads <t>]\n"
-      "                [--seed <s>] [--families <csv|all>]\n"
+      "                [--seed <s>] [--engine <scalar|simd|auto>]\n"
+      "                [--families <csv|all>]\n"
       "                [--algos <csv|all>] [--algo-opt <k=v>]...\n"
       "                [--problems <count>] [--problem-seed <s>]\n"
       "                [--json [path]] [--binary [path]]\n"
@@ -269,6 +274,11 @@ void print_usage() {
       "  --threads <t>   sweep worker threads (default: hardware)\n"
       "  --seed <s>      global seed mixed into every job seed (default 0\n"
       "                  = the historical deterministic sweeps)\n"
+      "  --engine <m>    engine kernel path for every scenario: `scalar`\n"
+      "                  (reference kernels), `simd` (wide kernels), or\n"
+      "                  `auto` (default; widest compiled path). The\n"
+      "                  resolved choice is recorded in the snapshot;\n"
+      "                  results are bit-identical across modes\n"
       "  --families <f>  comma-separated instance families for the\n"
       "                  family-driven scenarios (default/`all` = every\n"
       "                  tree family in the registry)\n"
@@ -633,6 +643,18 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
     } else if (arg == "--seed") {
       once("--seed");
       opts.seed = parse_uint64("--seed");
+    } else if (arg == "--engine") {
+      once("--engine");
+      const std::string value = next_value("--engine");
+      local::KernelMode mode;
+      if (!local::parse_kernel_mode(value, mode)) {
+        std::fprintf(stderr,
+                     "lclbench: --engine expects scalar|simd|auto, got "
+                     "'%s'\n",
+                     value.c_str());
+        std::exit(2);
+      }
+      opts.engine = value;
     } else if (arg == "--problems") {
       once("--problems");
       opts.problems = parse_int("--problems");
@@ -815,6 +837,17 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
       std::fprintf(stderr, "lclbench: --algo-opt %s\n", e.what());
       return 2;
     }
+  }
+
+  // Kernel selection: install the process-wide default before any
+  // scenario constructs an engine, and record the *resolved* path in
+  // the snapshot ("auto" collapses to what actually ran — "scalar" in
+  // LCL_FORCE_SCALAR builds, "simd" otherwise).
+  {
+    local::KernelMode mode = local::KernelMode::kAuto;
+    (void)local::parse_kernel_mode(opts.engine, mode);  // validated above
+    local::set_default_kernel_mode(mode);
+    opts.engine = local::kernel_mode_name(local::resolve_kernel_mode(mode));
   }
 
   core::BatchOptions pool_opts;

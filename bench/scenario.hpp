@@ -49,6 +49,12 @@ struct ScenarioOptions {
   /// solver that declares the key (validated by cli_main against the
   /// registry). Recorded in BENCH_*.json.
   std::vector<std::string> algo_opts;
+  /// Engine kernel selection (--engine scalar|simd|auto). cli_main sets
+  /// the process-wide default kernel mode from it before scenarios run
+  /// and resolves "auto" to the concrete path for the snapshot, so
+  /// every BENCH_*.json records which kernels produced it. Recorded in
+  /// BENCH_*.json (additive to schema lclbench-v3).
+  std::string engine = "auto";
   /// Distinct sampled LCL problems the problem_sweep scenario classifies
   /// and certifies (--problems). Recorded in BENCH_*.json.
   int problems = 60;

@@ -855,9 +855,12 @@ SolverRun run_registered(const SolverSpec& spec, const graph::Tree& tree,
   config.validate(spec);
   const std::unique_ptr<local::Program> program =
       spec.factory(tree, config);
+  // Reuses this thread's shared workspace; certify runs after the
+  // engine run completes, so helpers that spin up their own engines
+  // never nest inside it.
   local::Engine engine(tree);
   SolverRun out;
-  out.stats = engine.run(*program, max_rounds);
+  out.stats = engine.run(*program, local::tls_workspace(), max_rounds);
   // Mirror core::make_job: a truncated run is measured, not certified
   // (partial outputs are not checkable).
   out.verdict = out.stats.truncated

@@ -39,8 +39,11 @@ BatchJob make_job(std::string label, double scale, std::uint64_t seed,
             std::chrono::steady_clock::now() - build_start)
             .count();
     const std::unique_ptr<local::Program> program = make_program(tree);
+    // One reusable workspace per worker thread: every job after a
+    // thread's first runs the engine allocation-free.
     local::Engine engine(tree);
-    const local::RunStats stats = engine.run(*program, max_rounds);
+    const local::RunStats stats =
+        engine.run(*program, local::tls_workspace(), max_rounds);
     // A truncated run is measured, not checked: measure_run marks it
     // kTruncated and records the censored partial stats.
     const problems::CheckResult verdict =
@@ -130,7 +133,8 @@ BatchJob make_solver_job(std::string label, double scale,
     const std::unique_ptr<local::Program> program =
         spec.factory(tree, run_config);
     local::Engine engine(tree);
-    const local::RunStats stats = engine.run(*program, max_rounds);
+    const local::RunStats stats =
+        engine.run(*program, local::tls_workspace(), max_rounds);
     const problems::CheckResult verdict =
         stats.truncated ? problems::CheckResult::pass()
                         : spec.certify(tree, *program, stats, run_config);

@@ -14,82 +14,183 @@ Output NodeCtx::neighbor_output(int port) const {
 }
 
 void NodeCtx::terminate(Output out) {
-  if (engine_.terminated_[static_cast<std::size_t>(v_)] != 0) {
+  const auto v = static_cast<std::size_t>(v_);
+  if (engine_.term_[v] != 0) {
     throw std::logic_error("NodeCtx: double termination");
   }
-  engine_.terminated_[static_cast<std::size_t>(v_)] = 1;
-  engine_.outputs_[static_cast<std::size_t>(v_)] = out;
-  engine_.term_round_[static_cast<std::size_t>(v_)] = engine_.round_;
+  engine_.term_[v] = 1;
+  engine_.outputs_[v] = out;
+  engine_.term_round_[v] = engine_.round_;
+}
+
+Engine::Workspace& tls_workspace() {
+  thread_local Engine::Workspace ws;
+  return ws;
+}
+
+void Engine::Workspace::prepare(std::int64_t n) {
+  const auto count = static_cast<std::size_t>(n);
+  if (cap < kInitialCap) cap = kInitialCap;
+  std::int64_t allocs = 0;
+  // Word planes keep their contents: register reads are length-bounded
+  // and every len resets to 0 below, so stale words are unreachable —
+  // skipping the 2*n*cap clear is a large part of the warm-run win.
+  for (auto& plane : words) {
+    allocs += plane.ensure(count * static_cast<std::size_t>(cap)) ? 1 : 0;
+  }
+  // Bookkeeping lanes ARE cleared over their full padded extent: the
+  // wide kernels treat pad elements as data (pub=0 makes the dense flip
+  // a no-op there, term_round=0 is neutral for sum/max), and a
+  // workspace hops between runs of different n.
+  for (auto& plane : len) allocs += plane.assign(count, 0) ? 1 : 0;
+  allocs += cur.assign(count, 0) ? 1 : 0;
+  allocs += pub.assign(count, 0) ? 1 : 0;
+  allocs += terminated.assign(count, 0) ? 1 : 0;
+  allocs += term_round.assign(count, 0) ? 1 : 0;
+  if (outputs.capacity() < count) ++allocs;
+  outputs.assign(count, Output{});
+  if (alive.capacity() < count) {
+    ++allocs;
+    alive.reserve(count);
+  }
+  alive.clear();
+  if (published.capacity() < count) {
+    ++allocs;
+    published.reserve(count);
+  }
+  published.clear();
+  retired.clear();
+  alloc_events_ += allocs;
+}
+
+void Engine::bind(Workspace& ws) {
+  ws_ = &ws;
+  cap_ = ws.cap;
+  for (int p = 0; p < 2; ++p) {
+    words_[p] = ws.words[p].data();
+    len_[p] = ws.len[p].data();
+  }
+  cur_ = ws.cur.data();
+  pub_ = ws.pub.data();
+  term_ = ws.terminated.data();
+  term_round_ = ws.term_round.data();
+  outputs_ = ws.outputs.data();
+  pub_lo_ = std::numeric_limits<std::size_t>::max();
+  pub_hi_ = 0;
 }
 
 void Engine::grow(std::int64_t width) {
   std::int64_t new_cap = cap_;
   while (new_cap < width) new_cap *= 2;
-  const std::size_t slots = 2 * static_cast<std::size_t>(tree_.size());
-  std::vector<std::int64_t> grown(slots * static_cast<std::size_t>(new_cap),
-                                  0);
-  for (std::size_t s = 0; s < slots; ++s) {
-    std::memcpy(grown.data() + s * static_cast<std::size_t>(new_cap),
-                arena_.data() + s * static_cast<std::size_t>(cap_),
-                static_cast<std::size_t>(len_[s]) * sizeof(std::int64_t));
+  const auto n = static_cast<std::size_t>(tree_.size());
+  for (int p = 0; p < 2; ++p) {
+    AlignedPlane<std::int64_t> grown;
+    grown.ensure(n * static_cast<std::size_t>(new_cap));
+    ++ws_->alloc_events_;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::int32_t l = len_[p][v];
+      if (l != 0) {
+        std::memcpy(grown.data() + v * static_cast<std::size_t>(new_cap),
+                    words_[p] + v * static_cast<std::size_t>(cap_),
+                    static_cast<std::size_t>(l) * sizeof(std::int64_t));
+      }
+    }
+    // Keep the outgoing plane alive until the end of the round: the
+    // program may still hold RegViews into it, and committed registers
+    // are immutable for the rest of the round, so those views stay
+    // correct.
+    ws_->retired.push_back(std::move(ws_->words[p]));
+    ws_->words[p] = std::move(grown);
+    words_[p] = ws_->words[p].data();
   }
-  // Keep the outgoing arena alive until the end of the round: the program
-  // may still hold RegViews into it, and committed slots are immutable for
-  // the rest of the round, so those views stay correct.
-  retired_.push_back(std::move(arena_));
-  arena_ = std::move(grown);
   cap_ = new_cap;
+  ws_->cap = new_cap;
 }
 
 void Engine::commit_publishes() {
-  // Toggle the owners' parity bits; silent and terminated nodes cost
-  // nothing.
-  for (const NodeId v : published_) {
-    cur_[static_cast<std::size_t>(v)] ^= 1;
+  std::vector<NodeId>& published = ws_->published;
+  if (!published.empty()) {
+    const std::size_t count = published.size();
+    const std::size_t span = pub_hi_ - pub_lo_ + 1;
+    if (simd_ &&
+        span <= static_cast<std::size_t>(kDenseFlipFactor) * count) {
+      // Dense flip: one wide XOR over the 64-byte-aligned block range
+      // covering every publisher. The span bound keeps this
+      // O(#published); pub bytes outside the publisher set are 0, so
+      // the XOR is a no-op there.
+      const std::size_t lo = pub_lo_ & ~static_cast<std::size_t>(63);
+      const std::size_t hi = (pub_hi_ + 64) & ~static_cast<std::size_t>(63);
+      flip_commit_simd(cur_ + lo, pub_ + lo, hi - lo);
+    } else {
+      // Sparse round: toggle the owners' parity bits via the publisher
+      // list; silent and terminated nodes cost nothing.
+      for (const NodeId v : published) {
+        cur_[static_cast<std::size_t>(v)] ^= 1;
+        pub_[static_cast<std::size_t>(v)] = 0;
+      }
+    }
+    published.clear();
+    pub_lo_ = std::numeric_limits<std::size_t>::max();
+    pub_hi_ = 0;
   }
-  published_.clear();
-  retired_.clear();
+  ws_->retired.clear();
 }
 
 void Engine::flip_and_compact() {
   commit_publishes();
 
-  // Compact the alive list in place.
-  std::size_t w = 0;
-  for (const NodeId v : alive_) {
-    if (terminated_[static_cast<std::size_t>(v)] == 0) alive_[w++] = v;
-  }
-  alive_.resize(w);
+  // Compact the alive list in place (stable; identical order under both
+  // kernel variants).
+  std::vector<NodeId>& alive = ws_->alive;
+  const std::size_t w =
+      simd_ ? compact_alive_simd(alive.data(), alive.size(), term_)
+            : compact_alive_scalar(alive.data(), alive.size(), term_);
+  alive.resize(w);
 }
 
 RunStats Engine::run(Program& program, std::int64_t max_rounds,
                      RunProfile* profile) {
-  const std::size_t n = static_cast<std::size_t>(tree_.size());
+  return run(program, own_ws_, max_rounds, profile);
+}
+
+RunStats Engine::run(Program& program, Workspace& ws,
+                     std::int64_t max_rounds, RunProfile* profile) {
+  RunStats stats;
+  run_into(program, ws, stats, max_rounds, profile);
+  return stats;
+}
+
+void Engine::run_into(Program& program, Workspace& ws, RunStats& stats,
+                      std::int64_t max_rounds, RunProfile* profile) {
+  if (ws.in_use) {
+    throw std::logic_error(
+        "local::Engine: workspace already serving a run in flight "
+        "(one workspace per concurrent run; see tls_workspace())");
+  }
+  ws.in_use = true;
+  struct Release {
+    bool* flag;
+    ~Release() { *flag = false; }
+  } release{&ws.in_use};
+
+  const auto n = static_cast<std::size_t>(tree_.size());
   round_ = 0;
+  simd_ = resolve_kernel_mode(mode_) == KernelMode::kSimd;
 
   // The only adjacency "setup": borrow the Tree's native CSR pointers.
   // Nothing is copied or rebuilt per run.
   off_ = tree_.offsets().data();
   adj_ = tree_.adjacency().data();
 
-  cap_ = kInitialCap;
-  arena_.assign(2 * n * static_cast<std::size_t>(cap_), 0);
-  len_.assign(2 * n, 0);
-  cur_.assign(n, 0);
-  retired_.clear();
-  published_.clear();
-  publish_round_.assign(n, -1);
-  terminated_.assign(n, 0);
-  outputs_.assign(n, Output{});
-  term_round_.assign(n, 0);
+  ws.prepare(tree_.size());
+  bind(ws);
 
   // Init phase (round 0): registers published here are visible in round 1.
-  alive_.clear();
-  alive_.reserve(n);
+  std::vector<NodeId>& alive = ws.alive;
   for (NodeId v = 0; v < tree_.size(); ++v) {
     NodeCtx ctx(*this, v);
     program.on_init(ctx);
-    if (terminated_[static_cast<std::size_t>(v)] == 0) alive_.push_back(v);
+    if (term_[static_cast<std::size_t>(v)] == 0) alive.push_back(v);
   }
   commit_publishes();
   if (profile != nullptr) {
@@ -97,15 +198,18 @@ RunStats Engine::run(Program& program, std::int64_t max_rounds,
     profile->term_count.clear();
   }
 
-  RunStats stats;
-  while (!alive_.empty()) {
+  // Reset every scalar field: the stats object may be recycled from a
+  // previous run (run_into contract).
+  stats.truncated = false;
+  stats.unterminated = 0;
+  while (!alive.empty()) {
     if (round_ >= max_rounds) {
       // Structured truncation: keep everything measured so far and censor
       // the survivors' T_v at the executed round count (a lower bound on
       // their true termination time). Their outputs stay {-1, -1}.
       stats.truncated = true;
-      stats.unterminated = static_cast<std::int64_t>(alive_.size());
-      for (const NodeId v : alive_) {
+      stats.unterminated = static_cast<std::int64_t>(alive.size());
+      for (const NodeId v : alive) {
         term_round_[static_cast<std::size_t>(v)] = round_;
       }
       break;
@@ -113,9 +217,9 @@ RunStats Engine::run(Program& program, std::int64_t max_rounds,
     ++round_;
     if (profile != nullptr) {
       profile->alive_per_round.push_back(
-          static_cast<std::int64_t>(alive_.size()));
+          static_cast<std::int64_t>(alive.size()));
     }
-    for (const NodeId v : alive_) {
+    for (const NodeId v : alive) {
       NodeCtx ctx(*this, v);
       program.on_round(ctx);
     }
@@ -124,14 +228,17 @@ RunStats Engine::run(Program& program, std::int64_t max_rounds,
 
   stats.n = tree_.size();
   stats.rounds = round_;
-  stats.termination_round = term_round_;
-  stats.output = outputs_;
-  stats.worst_case = 0;
-  stats.total_rounds = 0;
-  for (const std::int64_t t : term_round_) {
-    stats.worst_case = std::max(stats.worst_case, t);
-    stats.total_rounds += t;
-  }
+  stats.termination_round.assign(term_round_, term_round_ + n);
+  stats.output.assign(outputs_, outputs_ + n);
+  // The padded tail of the term_round lane is zero (prepare clears it,
+  // truncation writes only real ids), and zero is neutral for both sum
+  // and max, so the reduction may run over whole blocks.
+  const TvReduction r =
+      simd_ ? reduce_tv_simd(term_round_,
+                             AlignedPlane<std::int64_t>::padded(n))
+            : reduce_tv_scalar(term_round_, n);
+  stats.worst_case = r.max;
+  stats.total_rounds = r.sum;
   stats.node_averaged =
       stats.n == 0 ? 0.0
                    : static_cast<double>(stats.total_rounds) /
@@ -139,11 +246,10 @@ RunStats Engine::run(Program& program, std::int64_t max_rounds,
   if (profile != nullptr) {
     profile->term_count.assign(
         static_cast<std::size_t>(stats.worst_case) + 1, 0);
-    for (const std::int64_t t : term_round_) {
-      ++profile->term_count[static_cast<std::size_t>(t)];
+    for (std::size_t v = 0; v < n; ++v) {
+      ++profile->term_count[static_cast<std::size_t>(term_round_[v])];
     }
   }
-  return stats;
 }
 
 }  // namespace lcl::local

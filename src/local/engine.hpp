@@ -13,31 +13,54 @@
 // node-averaged complexity of a run is (1/n) * sum_v T_v, and the
 // worst-case complexity is max_v T_v.
 //
-// Storage layout. Registers live in one flat contiguous arena holding two
-// fixed-capacity *slots* per node (a committed slot and a staging slot):
-// slot s of node v occupies the word slice [(2v+s)*cap, (2v+s)*cap+len),
-// where `cap` is a uniform capacity that doubles on demand (a publish wider
-// than `cap` triggers a rare O(n*cap) arena rebuild; steady state never
-// reallocates). A per-node parity bit names the committed slot. Reads
-// (`peek`/`own`) return views of the committed slot; a `publish` writes the
-// staging slot; the synchronous flip at the end of the round just toggles
-// the parity bit of each node that published — no register is ever copied,
-// and a node that stays silent (or has terminated) costs nothing at the
-// flip. Adjacency is NOT snapshotted: `graph::Tree` is CSR-native and
-// frozen (see graph/tree.hpp and DESIGN.md), so the engine borrows the
-// tree's own offset/neighbor arrays at the start of each run and a
-// `peek` is two array indexations into contiguous memory with zero
-// per-run adjacency work.
+// Storage layout (structure-of-arrays). Register words live in two flat
+// *planes* — a pair of fixed-capacity word buffers where node v's words
+// in plane p occupy [p.data() + v*cap, ... + len[p][v]), with `cap` a
+// uniform capacity that doubles on demand (a publish wider than `cap`
+// triggers a rare O(n*cap) plane rebuild; steady state never
+// reallocates). A per-node parity byte (`cur`) names the committed
+// plane; the other plane is the staging side. All per-node bookkeeping
+// is split into separate 64-byte-aligned lanes, each padded to a whole
+// number of 64-byte blocks: the `cur`/`pub`/`terminated` byte lanes, the
+// per-plane `len` lanes, and the `term_round` lane. That split is what
+// makes the three hot bulk passes — the end-of-round publish-flip, the
+// alive-list compaction, and the final T_v reduction — branch-free
+// kernels over contiguous memory (see local/simd.hpp; `--engine
+// scalar|simd|auto` and LCL_FORCE_SCALAR pick the variant). Reads
+// (`peek`/`own`) return views of the committed plane; a `publish` writes
+// the staging side; the synchronous flip at the end of the round toggles
+// the parity of the publishers — either as one wide XOR over a dense
+// publisher range or as a scatter over the publisher list, whichever is
+// cheaper — so no register is ever copied. Adjacency is NOT snapshotted:
+// `graph::Tree` is CSR-native and frozen (see graph/tree.hpp and
+// DESIGN.md), so the engine borrows the tree's own offset/neighbor
+// arrays at the start of each run and a `peek` is two array indexations
+// into contiguous memory with zero per-run adjacency work.
+//
+// Workspace. All of that per-run state lives in a reusable
+// `Engine::Workspace` (the ACL `decompression_context` idiom): the first
+// run sizes the planes, every later run of compatible size just
+// re-clears them, so steady-state sweeps are allocation-free
+// (`Workspace::alloc_events()` counts plane (re)allocations and is
+// asserted flat by tests and the engine_micro warm-run metric).
+// `run(program)` uses an engine-owned workspace; `run(program, ws)`
+// runs in a caller-owned one — `core::BatchRunner` jobs and the solver
+// registry share one workspace per worker thread via `tls_workspace()`
+// — and `run_into` additionally recycles the result vectors. A
+// workspace serves one run at a time (enforced), and must not be
+// touched while a run on it is in flight.
 //
 // Cost model. The engine keeps a compacted list of alive nodes (compacted
 // in place after each round, so terminated nodes cost nothing — not even a
-// branch) and a per-round list of publishers (so the flip is O(#published),
-// not O(n)). Per round the work is one program callback per alive node
-// plus one O(register width) write per publish. Total simulation cost is
-// therefore O(sum_v T_v) — proportional to exactly the quantity the
-// paper's theorems bound, which keeps fast instances fast. A terminated
-// node's committed slot is simply never touched again, so its final
-// register stays readable for free.
+// branch) and a per-round list of publishers. The flip is O(#published):
+// the dense wide-XOR kernel is only chosen when the publishers' id-span
+// is within a constant factor of their count, so it never degrades a
+// sparse round to O(n). Per round the work is one program callback per
+// alive node plus one O(register width) write per publish. Total
+// simulation cost is therefore O(sum_v T_v) — proportional to exactly
+// the quantity the paper's theorems bound, which keeps fast instances
+// fast. A terminated node's committed words are simply never touched
+// again, so its final register stays readable for free.
 //
 // Algorithms implement `Program`. Independent runs (one engine per
 // instance) share nothing and can execute concurrently; see
@@ -48,11 +71,14 @@
 #include <cstring>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <new>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "graph/tree.hpp"
+#include "local/simd.hpp"
 
 namespace lcl::local {
 
@@ -64,9 +90,9 @@ using graph::Tree;
 using Register = std::vector<std::int64_t>;
 
 /// Read-only view of a published register. Views point into the engine's
-/// arena (the owner's committed slot) and stay valid for the duration of
-/// the current round callback; copy the words out to retain them across
-/// rounds.
+/// word planes (the owner's committed side) and stay valid for the
+/// duration of the current round callback; copy the words out to retain
+/// them across rounds.
 using RegView = std::span<const std::int64_t>;
 
 /// Per-node output of an LCL algorithm: a primary label and an optional
@@ -74,6 +100,63 @@ using RegView = std::span<const std::int64_t>;
 struct Output {
   int primary = -1;
   int secondary = -1;
+};
+
+/// A 64-byte-aligned lane of trivially-copyable elements, padded to a
+/// whole number of 64-byte blocks so kernels never need a masked tail.
+/// Capacity only grows (`ensure`/`assign` return true exactly when they
+/// had to allocate — the workspace's allocation accounting), and
+/// `assign` clears the *padding* too: the kernels treat pad elements as
+/// data, so they must always hold the neutral value.
+template <typename T>
+class AlignedPlane {
+ public:
+  static constexpr std::size_t kAlign = 64;
+
+  /// `count` rounded up to a whole number of 64-byte blocks, in
+  /// elements. (Element sizes divide 64 for every lane type used here.)
+  [[nodiscard]] static std::size_t padded(std::size_t count) {
+    const std::size_t per = kAlign / sizeof(T);
+    return (count + per - 1) / per * per;
+  }
+
+  AlignedPlane() = default;
+  AlignedPlane(AlignedPlane&&) noexcept = default;
+  AlignedPlane& operator=(AlignedPlane&&) noexcept = default;
+
+  /// Guarantees capacity for `count` elements (plus block padding).
+  /// Existing contents are NOT preserved across a reallocation. Returns
+  /// true iff an allocation happened.
+  bool ensure(std::size_t count) {
+    const std::size_t need = padded(count);
+    if (need <= cap_) return false;
+    buf_.reset(static_cast<T*>(
+        ::operator new(need * sizeof(T), std::align_val_t(kAlign))));
+    cap_ = need;
+    return true;
+  }
+
+  /// Sizes the plane for `count` elements and fills every element —
+  /// including the block padding — with `value`. Returns true iff an
+  /// allocation happened.
+  bool assign(std::size_t count, T value) {
+    const bool grew = ensure(count);
+    std::fill_n(buf_.get(), padded(count), value);
+    return grew;
+  }
+
+  [[nodiscard]] T* data() { return buf_.get(); }
+  [[nodiscard]] const T* data() const { return buf_.get(); }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+ private:
+  struct Free {
+    void operator()(T* p) const {
+      ::operator delete(p, std::align_val_t(kAlign));
+    }
+  };
+  std::unique_ptr<T, Free> buf_;
+  std::size_t cap_ = 0;
 };
 
 class Engine;
@@ -190,46 +273,112 @@ struct RunProfile {
 };
 
 /// The synchronous engine. Construct with a graph (frozen by
-/// construction — every `Tree` is), `run` a program; the engine enforces
-/// the synchronous schedule and records termination rounds.
+/// construction — every `Tree` is) and optionally a kernel mode, `run` a
+/// program; the engine enforces the synchronous schedule and records
+/// termination rounds.
 class Engine {
  public:
-  explicit Engine(const Tree& tree) : tree_(tree) {}
+  /// Reusable per-run state (the ACL decompression_context idiom): all
+  /// register planes, bookkeeping lanes, and scratch lists of a run.
+  /// The first run allocates; later runs of any size that fits just
+  /// re-clear, so a workspace amortizes setup across a whole sweep.
+  /// One workspace serves one run at a time (nested use throws); share
+  /// across threads only via one-workspace-per-thread
+  /// (`tls_workspace()`).
+  struct Workspace {
+    /// Initial uniform register capacity (words); doubles on demand and
+    /// the grown capacity is kept across runs.
+    static constexpr std::int64_t kInitialCap = 8;
+
+    /// Plane (re)allocations since construction, including mid-run
+    /// capacity growth. Flat across reps == the steady state is
+    /// allocation-free.
+    [[nodiscard]] std::int64_t alloc_events() const {
+      return alloc_events_;
+    }
+
+   private:
+    friend class Engine;
+    friend class NodeCtx;
+
+    /// Sizes every lane for an n-node run and resets run state. Word
+    /// planes are NOT cleared: register reads are length-bounded and
+    /// lengths reset to 0, so stale words are unreachable.
+    void prepare(std::int64_t n);
+
+    AlignedPlane<std::int64_t> words[2];  ///< word planes, v at v*cap
+    AlignedPlane<std::int32_t> len[2];    ///< per-plane register widths
+    AlignedPlane<std::uint8_t> cur;       ///< committed-plane parity
+    AlignedPlane<std::uint8_t> pub;       ///< published-this-round flag
+    AlignedPlane<std::uint8_t> terminated;
+    AlignedPlane<std::int64_t> term_round;
+    std::vector<Output> outputs;
+    std::vector<NodeId> alive;      ///< compacted in place every round
+    std::vector<NodeId> published;  ///< publishers of the current round
+    /// Word planes replaced by a mid-round growth, retired until the
+    /// flip so outstanding RegViews keep pointing at live (committed,
+    /// immutable) data.
+    std::vector<AlignedPlane<std::int64_t>> retired;
+    std::int64_t cap = kInitialCap;
+    std::int64_t alloc_events_ = 0;
+    bool in_use = false;
+  };
+
+  explicit Engine(const Tree& tree, KernelMode mode = KernelMode::kAuto)
+      : tree_(tree), mode_(mode) {}
 
   /// Runs `program` to completion, or until `max_rounds` rounds have
   /// executed — in which case the returned stats carry
   /// `truncated == true` and censored partials (see `RunStats`) instead
   /// of the run being thrown away. Pass `profile` to additionally collect
-  /// the per-round alive trajectory and the T_v histogram.
+  /// the per-round alive trajectory and the T_v histogram. This overload
+  /// uses the engine's own workspace (reused across its runs).
   RunStats run(Program& program,
                std::int64_t max_rounds = std::numeric_limits<int>::max(),
                RunProfile* profile = nullptr);
 
+  /// Same, in a caller-owned workspace — the sweep-loop form: keep one
+  /// `Workspace` per worker thread and every run after the first is
+  /// allocation-free.
+  RunStats run(Program& program, Workspace& ws,
+               std::int64_t max_rounds = std::numeric_limits<int>::max(),
+               RunProfile* profile = nullptr);
+
+  /// Lowest-overhead form: writes the result into caller-owned stats,
+  /// recycling its vectors' capacity (a warm run performs zero heap
+  /// allocations in engine, workspace, or result).
+  void run_into(Program& program, Workspace& ws, RunStats& stats,
+                std::int64_t max_rounds = std::numeric_limits<int>::max(),
+                RunProfile* profile = nullptr);
+
   [[nodiscard]] const Tree& tree() const { return tree_; }
+  /// The mode this engine was constructed with (possibly kAuto).
+  [[nodiscard]] KernelMode mode() const { return mode_; }
 
  private:
   friend class NodeCtx;
 
-  /// Initial uniform register capacity (words); doubles on demand.
-  static constexpr std::int64_t kInitialCap = 8;
+  /// The dense publish-flip kernel is used only when the publishers'
+  /// id-span is at most this factor times their count, keeping the flip
+  /// O(#published) even under the wide kernels.
+  static constexpr std::int64_t kDenseFlipFactor = 4;
 
-  /// Slot id of slot `s` (0/1) of node `v`; the slot's words start at
-  /// slot id * cap_ and its length is len_[slot id].
-  [[nodiscard]] static std::size_t slot_id(NodeId v, int s) {
-    return 2 * static_cast<std::size_t>(v) + static_cast<std::size_t>(s);
-  }
-  /// Grows the arena so a register of `width` words fits. The outgoing
-  /// arena is retired (kept alive until the end of the round), so views
-  /// handed out earlier this round stay valid.
+  /// Grows the word planes so a register of `width` words fits. The
+  /// outgoing planes are retired (kept alive until the end of the
+  /// round), so views handed out earlier this round stay valid.
   void grow(std::int64_t width);
   /// Commits this round's publishes (parity toggles) and releases any
-  /// retired arenas. Called at the end of init and of every round.
+  /// retired planes. Called at the end of init and of every round.
   void commit_publishes();
   /// End-of-round synchronous flip: commit publishes, then compact the
   /// alive list in place.
   void flip_and_compact();
+  /// Points the hot-path mirrors at `ws`'s (re)prepared lanes.
+  void bind(Workspace& ws);
 
   const Tree& tree_;
+  KernelMode mode_;
+  bool simd_ = false;  ///< resolved dispatch for the current run
   std::int64_t round_ = 0;
 
   // Borrowed views of the tree's native CSR, captured at the top of each
@@ -240,22 +389,30 @@ class Engine {
   const std::int32_t* off_ = nullptr;
   const NodeId* adj_ = nullptr;
 
-  // Flat register arena; see the file header for the layout.
-  std::int64_t cap_ = kInitialCap;
-  std::vector<std::int64_t> arena_;
-  std::vector<std::int32_t> len_;    // len_[2v+s], per slot
-  std::vector<std::uint8_t> cur_;    // committed slot parity per node
-  // Arenas replaced by a mid-round growth, retired until the flip so that
-  // outstanding RegViews keep pointing at live (committed, immutable) data.
-  std::vector<std::vector<std::int64_t>> retired_;
+  // Hot-path mirrors into the bound workspace's lanes (refreshed by
+  // bind() and grow()); raw pointers so the inline NodeCtx accessors
+  // are single indexations.
+  Workspace* ws_ = nullptr;
+  std::int64_t cap_ = Workspace::kInitialCap;
+  std::int64_t* words_[2] = {nullptr, nullptr};
+  std::int32_t* len_[2] = {nullptr, nullptr};
+  std::uint8_t* cur_ = nullptr;
+  std::uint8_t* pub_ = nullptr;
+  std::uint8_t* term_ = nullptr;
+  std::int64_t* term_round_ = nullptr;
+  Output* outputs_ = nullptr;
+  // Publisher id-range of the current round, for the dense-flip choice.
+  std::size_t pub_lo_ = 0;
+  std::size_t pub_hi_ = 0;
 
-  std::vector<NodeId> alive_;      // compacted in place every round
-  std::vector<NodeId> published_;  // publishers of the current round
-  std::vector<std::int64_t> publish_round_;  // last round v published
-  std::vector<char> terminated_;
-  std::vector<Output> outputs_;
-  std::vector<std::int64_t> term_round_;
+  Workspace own_ws_;  ///< backs the workspace-less run() overload
 };
+
+/// This thread's shared workspace: one per thread, reused by every
+/// engine run routed through it (`core::BatchRunner` jobs, the solver
+/// registry's `run_registered`). Do not run two engines on it at once —
+/// the engine throws if a run is already in flight.
+[[nodiscard]] Engine::Workspace& tls_workspace();
 
 // NodeCtx accessors are on the per-node-per-round hot path; they are
 // defined inline here so simulation loops don't pay a cross-TU call per
@@ -283,46 +440,43 @@ inline NodeId NodeCtx::neighbor(int port) const {
 }
 
 inline RegView NodeCtx::peek(int port) const {
-  const NodeId u = neighbor(port);
-  const std::size_t slot =
-      Engine::slot_id(u, engine_.cur_[static_cast<std::size_t>(u)]);
-  return {engine_.arena_.data() +
-              slot * static_cast<std::size_t>(engine_.cap_),
-          static_cast<std::size_t>(engine_.len_[slot])};
+  const auto u = static_cast<std::size_t>(neighbor(port));
+  const int plane = engine_.cur_[u];
+  return {engine_.words_[plane] + u * static_cast<std::size_t>(engine_.cap_),
+          static_cast<std::size_t>(engine_.len_[plane][u])};
 }
 
 inline bool NodeCtx::neighbor_terminated(int port) const {
-  const NodeId u = neighbor(port);
+  const auto u = static_cast<std::size_t>(neighbor(port));
   // Terminations become visible one round after they happen (synchronous
   // semantics): a node terminating in round r is observed from round r+1.
-  return engine_.terminated_[static_cast<std::size_t>(u)] != 0 &&
-         engine_.term_round_[static_cast<std::size_t>(u)] < engine_.round_;
+  return engine_.term_[u] != 0 && engine_.term_round_[u] < engine_.round_;
 }
 
 inline RegView NodeCtx::own() const {
-  const std::size_t slot =
-      Engine::slot_id(v_, engine_.cur_[static_cast<std::size_t>(v_)]);
-  return {engine_.arena_.data() +
-              slot * static_cast<std::size_t>(engine_.cap_),
-          static_cast<std::size_t>(engine_.len_[slot])};
+  const auto v = static_cast<std::size_t>(v_);
+  const int plane = engine_.cur_[v];
+  return {engine_.words_[plane] + v * static_cast<std::size_t>(engine_.cap_),
+          static_cast<std::size_t>(engine_.len_[plane][v])};
 }
 
 inline void NodeCtx::publish(RegView reg) {
+  Engine& e = engine_;
   const std::int64_t width = static_cast<std::int64_t>(reg.size());
-  if (width > engine_.cap_) engine_.grow(width);
-  const std::size_t slot =
-      Engine::slot_id(v_, engine_.cur_[static_cast<std::size_t>(v_)] ^ 1);
+  if (width > e.cap_) e.grow(width);
+  const auto v = static_cast<std::size_t>(v_);
+  const int staging = e.cur_[v] ^ 1;
   if (width != 0) {
-    std::memcpy(engine_.arena_.data() +
-                    slot * static_cast<std::size_t>(engine_.cap_),
+    std::memcpy(e.words_[staging] + v * static_cast<std::size_t>(e.cap_),
                 reg.data(),
                 static_cast<std::size_t>(width) * sizeof(std::int64_t));
   }
-  engine_.len_[slot] = static_cast<std::int32_t>(width);
-  if (engine_.publish_round_[static_cast<std::size_t>(v_)] !=
-      engine_.round_) {
-    engine_.publish_round_[static_cast<std::size_t>(v_)] = engine_.round_;
-    engine_.published_.push_back(v_);
+  e.len_[staging][v] = static_cast<std::int32_t>(width);
+  if (e.pub_[v] == 0) {
+    e.pub_[v] = 1;
+    e.ws_->published.push_back(v_);
+    e.pub_lo_ = std::min(e.pub_lo_, v);
+    e.pub_hi_ = std::max(e.pub_hi_, v);
   }
 }
 

@@ -73,6 +73,18 @@ TEST(CliHardening, DuplicateProblemsFlag) {
                      "lclbench: duplicate --problems");
 }
 
+TEST(CliHardening, DuplicateEngineFlag) {
+  expect_cli_failure({"--engine", "simd", "--engine", "scalar"},
+                     "lclbench: duplicate --engine");
+}
+
+TEST(CliHardening, UnknownEngineMode) {
+  expect_cli_failure(
+      {"--engine", "turbo"},
+      "lclbench: --engine expects scalar\\|simd\\|auto, got 'turbo'");
+  expect_cli_failure({"--engine"}, "lclbench: --engine requires a value");
+}
+
 TEST(CliHardening, DuplicateValuelessFlags) {
   // The "at most once" contract covers the boolean flags too.
   expect_cli_failure({"--list", "--list"}, "lclbench: duplicate --list");

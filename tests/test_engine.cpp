@@ -364,5 +364,125 @@ TEST(Engine, DoubleTerminationThrows) {
   EXPECT_THROW(engine.run(p), std::logic_error);
 }
 
+/// A register-heavy stagger used by the workspace/kernel tests: node v
+/// republishes a growing register every round and terminates at round
+/// (v mod 13) + 1, so runs exercise publish, flip, compaction, growth,
+/// and uneven T_v in one program.
+class ChurnProgram final : public Program {
+ public:
+  void on_init(NodeCtx& ctx) override { ctx.publish({ctx.node()}); }
+  void on_round(NodeCtx& ctx) override {
+    Register r(ctx.own().begin(), ctx.own().end());
+    r.push_back(ctx.round());
+    ctx.publish(r);
+    if (ctx.round() == (ctx.node() % 13) + 1) ctx.terminate(1);
+  }
+};
+
+void expect_identical(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.worst_case, b.worst_case);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);
+  EXPECT_EQ(a.node_averaged, b.node_averaged);  // bit-identical
+  EXPECT_EQ(a.termination_round, b.termination_round);
+  EXPECT_EQ(a.primaries(), b.primaries());
+  EXPECT_EQ(a.secondaries(), b.secondaries());
+}
+
+TEST(EngineWorkspace, WarmRunsAreAllocationFreeAndIdentical) {
+  Tree t = graph::make_random_tree(600, 4, 99);
+  Engine engine(t);
+  Engine::Workspace ws;
+  ChurnProgram p;
+  const RunStats first = engine.run(p, ws);
+  const std::int64_t after_first = ws.alloc_events();
+  EXPECT_GT(after_first, 0);
+
+  // Reps after the first: identical results, zero plane allocations —
+  // including in run_into, which also recycles the stats vectors.
+  RunStats warm;
+  for (int rep = 0; rep < 5; ++rep) {
+    engine.run_into(p, ws, warm);
+    expect_identical(first, warm);
+  }
+  EXPECT_EQ(ws.alloc_events(), after_first);
+}
+
+TEST(EngineWorkspace, ReusedAcrossDifferentSizesAndGrowth) {
+  // A workspace hopping big -> small -> big must not leak stale lane or
+  // padding state between runs (the small run leaves garbage beyond its
+  // n; the kernels read whole 64-byte blocks).
+  Engine::Workspace ws;
+  Tree big = graph::make_path(500);
+  Tree small = graph::make_path(37);
+  ChurnProgram p;
+  Engine big_engine(big);
+  Engine small_engine(small);
+  const RunStats ref_big = big_engine.run(p);
+  const RunStats ref_small = small_engine.run(p);
+  expect_identical(ref_big, big_engine.run(p, ws));
+  expect_identical(ref_small, small_engine.run(p, ws));
+  expect_identical(ref_big, big_engine.run(p, ws));
+  // Capacity growth inside a shared workspace persists across runs
+  // (ChurnProgram's widest register exceeds the initial 8 words).
+  expect_identical(ref_small, small_engine.run(p, ws));
+}
+
+TEST(EngineWorkspace, ScalarAndSimdRunsAreBitIdentical) {
+  Tree t = graph::make_random_tree(700, 4, 123);
+  ChurnProgram p;
+  Engine scalar_engine(t, local::KernelMode::kScalar);
+  Engine simd_engine(t, local::KernelMode::kSimd);
+  const RunStats a = scalar_engine.run(p);
+  const RunStats b = simd_engine.run(p);
+  expect_identical(a, b);
+
+  // Truncated runs too: censoring + reduction agree across kernels.
+  const RunStats ta = scalar_engine.run(p, 3);
+  const RunStats tb = simd_engine.run(p, 3);
+  EXPECT_TRUE(ta.truncated);
+  expect_identical(ta, tb);
+}
+
+/// A program that (illegally) starts a nested engine run on the same
+/// workspace mid-round.
+class NestedRun final : public Program {
+ public:
+  explicit NestedRun(Engine::Workspace& ws) : ws_(ws) {}
+  void on_init(NodeCtx&) override {}
+  void on_round(NodeCtx& ctx) override {
+    Tree inner = graph::make_path(3);
+    Engine engine(inner);
+    InstantProgram p;
+    (void)engine.run(p, ws_);  // throws: ws_ is serving the outer run
+    ctx.terminate(0);
+  }
+
+ private:
+  Engine::Workspace& ws_;
+};
+
+TEST(EngineWorkspace, NestedUseOfOneWorkspaceThrows) {
+  Tree t = graph::make_path(4);
+  Engine engine(t);
+  Engine::Workspace ws;
+  NestedRun p(ws);
+  EXPECT_THROW(engine.run(p, ws), std::logic_error);
+  // The guard releases on unwind: the workspace is usable again.
+  InstantProgram ok;
+  EXPECT_EQ(engine.run(ok, ws).worst_case, 0);
+}
+
+TEST(EngineWorkspace, TlsWorkspaceIsSticky) {
+  Engine::Workspace& ws = local::tls_workspace();
+  EXPECT_EQ(&ws, &local::tls_workspace());
+  Tree t = graph::make_path(32);
+  Engine engine(t);
+  ChurnProgram p;
+  const RunStats direct = engine.run(p);
+  expect_identical(direct, engine.run(p, ws));
+}
+
 }  // namespace
 }  // namespace lcl

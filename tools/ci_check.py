@@ -56,6 +56,9 @@ def check_all(d):
     assert "family_sweep" in names and "engine_micro" in names, names
     assert "problem_sweep" in names, names
     assert d["schema"] == "lclbench-v3", d["schema"]
+    # Kernel provenance: the resolved --engine choice is always recorded
+    # (auto collapses to the widest compiled path before emission).
+    assert d["engine"] in ("scalar", "simd"), d.get("engine")
     bad = [(s["name"], se["title"], r.get("status"))
            for s in d["scenarios"]
            for se in s["series"]

@@ -16,6 +16,7 @@
 #include "core/json.hpp"
 #include "core/snapshot.hpp"
 #include "graph/families.hpp"
+#include "local/dispatch.hpp"
 #include "local/simd.hpp"
 
 namespace lcl::bench {
@@ -87,6 +88,10 @@ std::string render_json(const ScenarioOptions& opts,
   // Kernel provenance (additive to schema lclbench-v3): the resolved
   // engine path ("scalar" or "simd") every run in this snapshot used.
   os << "  \"engine\": \"" << json_escape(opts.engine) << "\",\n";
+  // Dispatch provenance (additive to schema lclbench-v3): the resolved
+  // Program↔Engine stepping contract ("pernode" or "batch") every run
+  // in this snapshot used.
+  os << "  \"dispatch\": \"" << json_escape(opts.dispatch) << "\",\n";
   // Problem-axis selection (additive to schema lclbench-v3): the
   // problem_sweep scenario's sampled-problem count and generator seed,
   // so snapshots pin exactly which LCLs were classified.
@@ -249,6 +254,7 @@ void print_usage() {
       "usage: lclbench [--list] [--list-algos] [--run <name|all>]\n"
       "                [--n <scale>] [--reps <r>] [--threads <t>]\n"
       "                [--seed <s>] [--engine <scalar|simd|auto>]\n"
+      "                [--dispatch <pernode|batch|auto>]\n"
       "                [--families <csv|all>]\n"
       "                [--algos <csv|all>] [--algo-opt <k=v>]...\n"
       "                [--problems <count>] [--problem-seed <s>]\n"
@@ -279,6 +285,11 @@ void print_usage() {
       "                  `auto` (default; widest compiled path). The\n"
       "                  resolved choice is recorded in the snapshot;\n"
       "                  results are bit-identical across modes\n"
+      "  --dispatch <d>  Program↔Engine stepping contract: `pernode`\n"
+      "                  (one virtual call per alive node), `batch`\n"
+      "                  (span-level step kernels), or `auto` (default;\n"
+      "                  batch). The resolved choice is recorded in the\n"
+      "                  snapshot; results are bit-identical across modes\n"
       "  --families <f>  comma-separated instance families for the\n"
       "                  family-driven scenarios (default/`all` = every\n"
       "                  tree family in the registry)\n"
@@ -655,6 +666,18 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
         std::exit(2);
       }
       opts.engine = value;
+    } else if (arg == "--dispatch") {
+      once("--dispatch");
+      const std::string value = next_value("--dispatch");
+      local::DispatchMode mode;
+      if (!local::parse_dispatch_mode(value, mode)) {
+        std::fprintf(stderr,
+                     "lclbench: --dispatch expects pernode|batch|auto, got "
+                     "'%s'\n",
+                     value.c_str());
+        std::exit(2);
+      }
+      opts.dispatch = value;
     } else if (arg == "--problems") {
       once("--problems");
       opts.problems = parse_int("--problems");
@@ -848,6 +871,16 @@ int cli_main(int argc, char** argv, const std::string& forced_scenario) {
     (void)local::parse_kernel_mode(opts.engine, mode);  // validated above
     local::set_default_kernel_mode(mode);
     opts.engine = local::kernel_mode_name(local::resolve_kernel_mode(mode));
+  }
+
+  // Dispatch selection, same shape: install the process-wide default and
+  // record the resolved contract ("auto" collapses to "batch").
+  {
+    local::DispatchMode mode = local::DispatchMode::kAuto;
+    (void)local::parse_dispatch_mode(opts.dispatch, mode);  // validated above
+    local::set_default_dispatch_mode(mode);
+    opts.dispatch =
+        local::dispatch_mode_name(local::resolve_dispatch_mode(mode));
   }
 
   core::BatchOptions pool_opts;

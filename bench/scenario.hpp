@@ -55,6 +55,11 @@ struct ScenarioOptions {
   /// every BENCH_*.json records which kernels produced it. Recorded in
   /// BENCH_*.json (additive to schema lclbench-v3).
   std::string engine = "auto";
+  /// Program dispatch selection (--dispatch pernode|batch|auto). cli_main
+  /// sets the process-wide default dispatch mode from it before scenarios
+  /// run and resolves "auto" to the concrete contract for the snapshot.
+  /// Recorded in BENCH_*.json (additive to schema lclbench-v3).
+  std::string dispatch = "auto";
   /// Distinct sampled LCL problems the problem_sweep scenario classifies
   /// and certifies (--problems). Recorded in BENCH_*.json.
   int problems = 60;

@@ -21,6 +21,7 @@ class LevelProgram final : public local::Program {
  public:
   LevelProgram(const graph::Tree& tree, int k) : tree_(tree), k_(k) {
     peeled_.assign(static_cast<std::size_t>(tree.size()), 0);
+    newly_peeled_.reserve(static_cast<std::size_t>(tree.size()));
   }
 
   void on_init(local::NodeCtx& ctx) override {
@@ -46,14 +47,52 @@ class LevelProgram final : public local::Program {
       ctx.terminate(static_cast<int>(round));
       return;
     }
-    (void)peeled_;
     (void)v;
+  }
+
+  /// Batch kernel: neighbor peeled-state lives in a program-side byte
+  /// lane instead of being re-read through register views — `peeled_`
+  /// mirrors exactly what the committed registers say (a node's peel is
+  /// folded in at the *start* of the next round, the program-side
+  /// counterpart of the engine's end-of-round flip), so the count loop
+  /// is a flat byte gather over the CSR.
+  void on_round_batch(local::BatchCtx& batch,
+                      local::NodeSpan nodes) override {
+    const std::int64_t round = batch.round();
+    if (round > k_) {
+      batch.terminate_lane(nodes, local::Output{k_ + 1, -1});
+      return;
+    }
+    for (const graph::NodeId v : newly_peeled_) {
+      peeled_[static_cast<std::size_t>(v)] = 1;
+    }
+    newly_peeled_.clear();
+    const std::int32_t* off = batch.offsets();
+    const graph::NodeId* adj = batch.adjacency();
+    static constexpr std::int64_t kPeeledReg[1] = {1};
+    for (const graph::NodeId v : nodes) {
+      const auto begin = static_cast<std::size_t>(
+          off[static_cast<std::size_t>(v)]);
+      const auto end = static_cast<std::size_t>(
+          off[static_cast<std::size_t>(v) + 1]);
+      int unpeeled_neighbors = 0;
+      for (std::size_t p = begin; p < end; ++p) {
+        unpeeled_neighbors +=
+            peeled_[static_cast<std::size_t>(adj[p])] == 0;
+      }
+      if (unpeeled_neighbors <= 2) {
+        batch.publish(v, local::RegView(kPeeledReg, 1));
+        batch.terminate(v, static_cast<int>(round));
+        newly_peeled_.push_back(v);
+      }
+    }
   }
 
  private:
   const graph::Tree& tree_;
   int k_;
   std::vector<char> peeled_;
+  std::vector<graph::NodeId> newly_peeled_;
 };
 
 }  // namespace lcl::algo

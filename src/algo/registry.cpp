@@ -130,6 +130,15 @@ class DFreeAProgram final : public local::Program {
       ctx.terminate(result_.output[static_cast<std::size_t>(ctx.node())]);
     }
   }
+  /// Batch kernel: rounds before the charge are a single compare; at the
+  /// charge round every alive node fixes its precomputed output.
+  void on_round_batch(local::BatchCtx& batch,
+                      local::NodeSpan nodes) override {
+    if (batch.round() < charge_) return;
+    for (const NodeId v : nodes) {
+      batch.terminate(v, result_.output[static_cast<std::size_t>(v)]);
+    }
+  }
 
  private:
   DFreeResult result_;
@@ -149,6 +158,18 @@ class HierLabelingProgram final : public local::Program {
     const auto v = static_cast<std::size_t>(ctx.node());
     if (ctx.round() >= solution_.assign_round[v]) {
       ctx.terminate(solution_.labels[v]);
+    }
+  }
+  /// Batch kernel: one flat compare per alive node against the
+  /// precomputed peel schedule — no per-node virtual hop.
+  void on_round_batch(local::BatchCtx& batch,
+                      local::NodeSpan nodes) override {
+    const std::int64_t r = batch.round();
+    for (const NodeId v : nodes) {
+      const auto i = static_cast<std::size_t>(v);
+      if (r >= solution_.assign_round[i]) {
+        batch.terminate(v, solution_.labels[i]);
+      }
     }
   }
 
@@ -851,14 +872,15 @@ void prepare_instance(graph::Tree& tree, unsigned needs,
 // ---------------------------------------------------------------------------
 
 SolverRun run_registered(const SolverSpec& spec, const graph::Tree& tree,
-                         SolverConfig config, std::int64_t max_rounds) {
+                         SolverConfig config, std::int64_t max_rounds,
+                         local::DispatchMode dispatch) {
   config.validate(spec);
   const std::unique_ptr<local::Program> program =
       spec.factory(tree, config);
   // Reuses this thread's shared workspace; certify runs after the
   // engine run completes, so helpers that spin up their own engines
   // never nest inside it.
-  local::Engine engine(tree);
+  local::Engine engine(tree, local::KernelMode::kAuto, dispatch);
   SolverRun out;
   out.stats = engine.run(*program, local::tls_workspace(), max_rounds);
   // Mirror core::make_job: a truncated run is measured, not certified

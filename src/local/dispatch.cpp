@@ -1,0 +1,59 @@
+#include "local/dispatch.hpp"
+
+#include <atomic>
+
+namespace lcl::local {
+
+namespace {
+
+std::atomic<DispatchMode> g_default_dispatch{DispatchMode::kAuto};
+
+}  // namespace
+
+DispatchMode default_dispatch_mode() {
+  return g_default_dispatch.load(std::memory_order_relaxed);
+}
+
+void set_default_dispatch_mode(DispatchMode mode) {
+  g_default_dispatch.store(mode, std::memory_order_relaxed);
+}
+
+DispatchMode resolve_dispatch_mode(DispatchMode mode) {
+  if (mode == DispatchMode::kAuto) mode = default_dispatch_mode();
+  // Batch dispatch with the default hooks replays the per-node schedule
+  // exactly (see Program::on_round_batch), so the resolved default is
+  // the batched loop: ported programs get their kernels, everything
+  // else is bit-identical.
+  if (mode == DispatchMode::kAuto) mode = DispatchMode::kBatch;
+  return mode;
+}
+
+const char* dispatch_mode_name(DispatchMode mode) {
+  switch (mode) {
+    case DispatchMode::kPerNode:
+      return "pernode";
+    case DispatchMode::kBatch:
+      return "batch";
+    case DispatchMode::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
+bool parse_dispatch_mode(const std::string& text, DispatchMode& out) {
+  if (text == "pernode") {
+    out = DispatchMode::kPerNode;
+    return true;
+  }
+  if (text == "batch") {
+    out = DispatchMode::kBatch;
+    return true;
+  }
+  if (text == "auto") {
+    out = DispatchMode::kAuto;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace lcl::local

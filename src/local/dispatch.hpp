@@ -1,0 +1,53 @@
+// Program-dispatch selection for the engine round loop.
+//
+// PR 7 made the engine's bookkeeping passes wide (see simd.hpp), which
+// left the *callback boundary* as the hot path: one virtual
+// `Program::on_init/on_round` call per alive node per round. Batched
+// dispatch collapses that to a handful of span-level calls — the engine
+// hands the whole compacted alive list to `Program::on_*_batch` and a
+// ported program runs one lane-level kernel over it (see engine.hpp,
+// `BatchCtx`). The default batch hooks loop the per-node hooks, so the
+// two modes are semantically identical for every program; which one an
+// engine run uses is this knob, mirroring `KernelMode` exactly:
+//
+//   kPerNode — drive the per-node hooks directly (the reference path,
+//              and the baseline side of the dispatch A/B series).
+//   kBatch   — drive the span-level hooks (ported programs run their
+//              batch kernels; unported ones fall through to the
+//              defaults, which replay the per-node schedule).
+//   kAuto    — the process-wide default (set_default_dispatch_mode,
+//              wired to `lclbench --dispatch`), which itself defaults
+//              to kBatch: with the default hooks the modes are
+//              bit-identical, so batch never loses.
+//
+// Differential guarantee: for identical (program, instance, seed) the
+// two modes produce bit-identical `RunStats` — pinned by
+// tests/test_dispatch.cpp and the three-way fuzz loop in
+// tests/test_differential.cpp.
+#pragma once
+
+#include <string>
+
+namespace lcl::local {
+
+/// How an engine run drives the program: per-node virtual calls, one
+/// span-level call per round, or the process default.
+enum class DispatchMode { kPerNode = 0, kBatch = 1, kAuto = 2 };
+
+/// Process-wide default used by engines constructed with kAuto.
+[[nodiscard]] DispatchMode default_dispatch_mode();
+void set_default_dispatch_mode(DispatchMode mode);
+
+/// Collapses a requested mode to the concrete kPerNode/kBatch an engine
+/// run will execute: kAuto defers to the process default, which itself
+/// defaults to kBatch.
+[[nodiscard]] DispatchMode resolve_dispatch_mode(DispatchMode mode);
+
+/// "pernode" / "batch" / "auto".
+[[nodiscard]] const char* dispatch_mode_name(DispatchMode mode);
+
+/// Parses "pernode" / "batch" / "auto"; returns false on anything else.
+[[nodiscard]] bool parse_dispatch_mode(const std::string& text,
+                                       DispatchMode& out);
+
+}  // namespace lcl::local

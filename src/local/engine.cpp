@@ -23,6 +23,82 @@ void NodeCtx::terminate(Output out) {
   engine_.term_round_[v] = engine_.round_;
 }
 
+// Default batch hooks: replay the per-node schedule over the span, so a
+// program that never heard of batching behaves bit-identically under
+// either dispatch mode.
+
+void Program::on_init_batch(BatchCtx& batch, NodeSpan nodes) {
+  for (const NodeId v : nodes) {
+    NodeCtx ctx = batch.node_ctx(v);
+    on_init(ctx);
+  }
+}
+
+void Program::on_round_batch(BatchCtx& batch, NodeSpan nodes) {
+  for (const NodeId v : nodes) {
+    NodeCtx ctx = batch.node_ctx(v);
+    on_round(ctx);
+  }
+}
+
+void BatchCtx::terminate(NodeId v, Output out) {
+  NodeCtx ctx(engine_, v);
+  ctx.terminate(out);
+}
+
+void BatchCtx::terminate_lane(NodeSpan nodes, Output out) {
+  Engine& e = engine_;
+  for (const NodeId v : nodes) {
+    const auto i = static_cast<std::size_t>(v);
+    if (e.term_[i] != 0) {
+      throw std::logic_error("BatchCtx: double termination");
+    }
+    e.term_[i] = 1;
+    e.outputs_[i] = out;
+    e.term_round_[i] = e.round_;
+  }
+}
+
+void BatchCtx::terminate_lane(NodeSpan nodes, const Output* outputs) {
+  Engine& e = engine_;
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    const auto i = static_cast<std::size_t>(nodes[j]);
+    if (e.term_[i] != 0) {
+      throw std::logic_error("BatchCtx: double termination");
+    }
+    e.term_[i] = 1;
+    e.outputs_[i] = outputs[j];
+    e.term_round_[i] = e.round_;
+  }
+}
+
+void BatchCtx::publish_lane(NodeSpan nodes, const std::int64_t* words,
+                            std::size_t width) {
+  Engine& e = engine_;
+  // One capacity check for the whole lane; the per-node body below is
+  // NodeCtx::publish with the grow branch hoisted out.
+  if (static_cast<std::int64_t>(width) > e.cap_) {
+    e.grow(static_cast<std::int64_t>(width));
+  }
+  const std::int64_t* src = words;
+  for (const NodeId v : nodes) {
+    const auto i = static_cast<std::size_t>(v);
+    const int staging = e.cur_[i] ^ 1;
+    if (width != 0) {
+      std::memcpy(e.words_[staging] + i * static_cast<std::size_t>(e.cap_),
+                  src, width * sizeof(std::int64_t));
+    }
+    e.len_[staging][i] = static_cast<std::int32_t>(width);
+    if (e.pub_[i] == 0) {
+      e.pub_[i] = 1;
+      e.ws_->published.push_back(v);
+      e.pub_lo_ = std::min(e.pub_lo_, i);
+      e.pub_hi_ = std::max(e.pub_hi_, i);
+    }
+    src += width;
+  }
+}
+
 Engine::Workspace& tls_workspace() {
   thread_local Engine::Workspace ws;
   return ws;
@@ -176,6 +252,7 @@ void Engine::run_into(Program& program, Workspace& ws, RunStats& stats,
   const auto n = static_cast<std::size_t>(tree_.size());
   round_ = 0;
   simd_ = resolve_kernel_mode(mode_) == KernelMode::kSimd;
+  batch_ = resolve_dispatch_mode(dispatch_) == DispatchMode::kBatch;
 
   // The only adjacency "setup": borrow the Tree's native CSR pointers.
   // Nothing is copied or rebuilt per run.
@@ -187,10 +264,27 @@ void Engine::run_into(Program& program, Workspace& ws, RunStats& stats,
 
   // Init phase (round 0): registers published here are visible in round 1.
   std::vector<NodeId>& alive = ws.alive;
-  for (NodeId v = 0; v < tree_.size(); ++v) {
-    NodeCtx ctx(*this, v);
-    program.on_init(ctx);
-    if (term_[static_cast<std::size_t>(v)] == 0) alive.push_back(v);
+  BatchCtx bctx(*this);
+  if (batch_) {
+    // One span-level call over every node, then a stable compaction of
+    // the init-terminated ones — the same surviving order the per-node
+    // push_back filter produces. `alive` was reserved for n by
+    // prepare(), so the resize never allocates on a warm run.
+    alive.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      alive[i] = static_cast<NodeId>(i);
+    }
+    program.on_init_batch(bctx, NodeSpan(alive.data(), alive.size()));
+    const std::size_t w =
+        simd_ ? compact_alive_simd(alive.data(), alive.size(), term_)
+              : compact_alive_scalar(alive.data(), alive.size(), term_);
+    alive.resize(w);
+  } else {
+    for (NodeId v = 0; v < tree_.size(); ++v) {
+      NodeCtx ctx(*this, v);
+      program.on_init(ctx);
+      if (term_[static_cast<std::size_t>(v)] == 0) alive.push_back(v);
+    }
   }
   commit_publishes();
   if (profile != nullptr) {
@@ -219,9 +313,13 @@ void Engine::run_into(Program& program, Workspace& ws, RunStats& stats,
       profile->alive_per_round.push_back(
           static_cast<std::int64_t>(alive.size()));
     }
-    for (const NodeId v : alive) {
-      NodeCtx ctx(*this, v);
-      program.on_round(ctx);
+    if (batch_) {
+      program.on_round_batch(bctx, NodeSpan(alive.data(), alive.size()));
+    } else {
+      for (const NodeId v : alive) {
+        NodeCtx ctx(*this, v);
+        program.on_round(ctx);
+      }
     }
     flip_and_compact();
   }

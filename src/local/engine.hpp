@@ -62,6 +62,16 @@
 // fast. A terminated node's committed words are simply never touched
 // again, so its final register stays readable for free.
 //
+// Dispatch. The engine drives a program either through the classic
+// per-node virtual hooks (one `on_round` call per alive node) or
+// through span-level batch hooks (one `on_round_batch` call per round
+// over the whole compacted alive list) — `DispatchMode
+// {pernode, batch, auto}` picks, exactly like `KernelMode` picks the
+// kernels (see local/dispatch.hpp). The default batch hooks loop the
+// per-node hooks in alive order, so the two modes are bit-identical for
+// every program; ported programs override them with lane-level kernels
+// over `BatchCtx`'s direct SoA views and bulk writers.
+//
 // Algorithms implement `Program`. Independent runs (one engine per
 // instance) share nothing and can execute concurrently; see
 // `core/batch.hpp` for the thread-pooled sweep runner.
@@ -78,6 +88,7 @@
 #include <vector>
 
 #include "graph/tree.hpp"
+#include "local/dispatch.hpp"
 #include "local/simd.hpp"
 
 namespace lcl::local {
@@ -209,10 +220,103 @@ class NodeCtx {
   NodeId v_;
 };
 
+/// The engine's per-round unit of batched dispatch: a contiguous,
+/// strictly increasing run of node ids (the compacted alive list).
+using NodeSpan = std::span<const NodeId>;
+
+/// Span-level view handed to the batch hooks: the whole-round
+/// counterpart of `NodeCtx`, exposing the engine's SoA lanes directly
+/// so a ported program can run one flat kernel over the alive span
+/// instead of n virtual calls.
+///
+/// Aliasing rules (what keeps batch runs bit-identical to per-node
+/// runs, in any processing order):
+///   * Reads see the end of the *previous* round. `reg(u)` returns u's
+///     committed register — a publish this round writes the staging
+///     plane and only flips at the end of the round, so reads are
+///     unaffected by same-round writes. `terminated_visible(u)` applies
+///     the same one-round delay to terminations.
+///   * The raw `terminated_lane()` view is the live flag lane: it
+///     includes *same-round* terminations (the engine sets the flag
+///     eagerly so double-termination is detectable). Kernels that need
+///     synchronous semantics must mask it with `term_round_lane()[u] <
+///     round()` — which is exactly what `terminated_visible` does.
+///   * Writers (`publish*`, `terminate*`) only touch staging state
+///     (staging plane, termination flags for *future* visibility), so
+///     the order a kernel walks the span in cannot change what any
+///     node observes this round.
+/// Register views obtained through a `BatchCtx` stay valid for the
+/// duration of the current hook call, exactly like `NodeCtx` views.
+class BatchCtx {
+ public:
+  /// Number of nodes in the graph.
+  [[nodiscard]] std::int64_t n() const;
+  /// Current round number (1-based; 0 during on_init_batch).
+  [[nodiscard]] std::int64_t round() const;
+  [[nodiscard]] const Tree& tree() const;
+
+  /// The tree's native CSR: neighbors of v are
+  /// `adjacency()[offsets()[v] + port]`.
+  [[nodiscard]] const std::int32_t* offsets() const;
+  [[nodiscard]] const NodeId* adjacency() const;
+
+  /// Node u's committed register (as of the end of the previous round).
+  [[nodiscard]] RegView reg(NodeId u) const;
+  /// Length-bounded views of the termination lanes (length n; see the
+  /// aliasing rules above for the raw-flag caveat).
+  [[nodiscard]] std::span<const std::uint8_t> terminated_lane() const;
+  [[nodiscard]] std::span<const std::int64_t> term_round_lane() const;
+  /// Whether u's termination is visible this round (synchronous
+  /// semantics: a node terminating in round r is observed from r+1).
+  [[nodiscard]] bool terminated_visible(NodeId u) const;
+  /// u's fixed output; only meaningful if `terminated_visible(u)`.
+  [[nodiscard]] Output output(NodeId u) const;
+
+  /// Overwrites v's register (visible to neighbors next round).
+  void publish(NodeId v, RegView reg);
+  void publish(NodeId v, std::initializer_list<std::int64_t> words) {
+    publish(v, RegView(words.begin(), words.size()));
+  }
+  /// Bulk publish: node `nodes[i]` publishes the `width` words at
+  /// `words + i * width`. One capacity check for the whole lane.
+  void publish_lane(NodeSpan nodes, const std::int64_t* words,
+                    std::size_t width);
+
+  /// Terminates v with the given output; `T_v` = current round.
+  void terminate(NodeId v, Output out);
+  void terminate(NodeId v, int primary, int secondary = -1) {
+    terminate(v, Output{primary, secondary});
+  }
+  /// Bulk terminate: every node in `nodes` fixes the same output.
+  void terminate_lane(NodeSpan nodes, Output out);
+  /// Bulk terminate with per-node outputs: `nodes[i]` fixes
+  /// `outputs[i]`.
+  void terminate_lane(NodeSpan nodes, const Output* outputs);
+
+  /// Per-node view for one node of the span — the escape hatch the
+  /// default batch hooks use to replay the per-node schedule.
+  [[nodiscard]] NodeCtx node_ctx(NodeId v);
+
+ private:
+  friend class Engine;
+  explicit BatchCtx(Engine& engine) : engine_(engine) {}
+
+  Engine& engine_;
+};
+
 /// A distributed algorithm. One `Program` instance serves the whole run;
 /// per-node state must live in engine registers or in program-owned
 /// per-node arrays (indexed by NodeId) that the program only accesses for
 /// the node passed to the callback.
+///
+/// The per-node hooks are the reference semantics. The batch hooks are
+/// the span-level fast path: their default implementations loop the
+/// per-node hooks over the span in order, so overriding them is purely
+/// an optimization — a correct override produces bit-identical
+/// `RunStats` under `DispatchMode::kBatch` as the per-node hooks do
+/// under `DispatchMode::kPerNode` (pinned by the dispatch differential
+/// suites). Programs that override a batch hook should keep the
+/// per-node twin intact as the pinned reference.
 class Program {
  public:
   virtual ~Program() = default;
@@ -221,6 +325,12 @@ class Program {
   virtual void on_init(NodeCtx& ctx) = 0;
   /// Called once per round for each non-terminated node.
   virtual void on_round(NodeCtx& ctx) = 0;
+  /// Batched init: called once with every node (round() == 0). Default:
+  /// loops `on_init` over the span.
+  virtual void on_init_batch(BatchCtx& batch, NodeSpan nodes);
+  /// Batched round: called once per round with the compacted alive
+  /// list. Default: loops `on_round` over the span.
+  virtual void on_round_batch(BatchCtx& batch, NodeSpan nodes);
 };
 
 /// Result of a run.
@@ -300,6 +410,7 @@ class Engine {
    private:
     friend class Engine;
     friend class NodeCtx;
+    friend class BatchCtx;
 
     /// Sizes every lane for an n-node run and resets run state. Word
     /// planes are NOT cleared: register reads are length-bounded and
@@ -324,8 +435,9 @@ class Engine {
     bool in_use = false;
   };
 
-  explicit Engine(const Tree& tree, KernelMode mode = KernelMode::kAuto)
-      : tree_(tree), mode_(mode) {}
+  explicit Engine(const Tree& tree, KernelMode mode = KernelMode::kAuto,
+                  DispatchMode dispatch = DispatchMode::kAuto)
+      : tree_(tree), mode_(mode), dispatch_(dispatch) {}
 
   /// Runs `program` to completion, or until `max_rounds` rounds have
   /// executed — in which case the returned stats carry
@@ -354,9 +466,12 @@ class Engine {
   [[nodiscard]] const Tree& tree() const { return tree_; }
   /// The mode this engine was constructed with (possibly kAuto).
   [[nodiscard]] KernelMode mode() const { return mode_; }
+  /// The dispatch this engine was constructed with (possibly kAuto).
+  [[nodiscard]] DispatchMode dispatch() const { return dispatch_; }
 
  private:
   friend class NodeCtx;
+  friend class BatchCtx;
 
   /// The dense publish-flip kernel is used only when the publishers'
   /// id-span is at most this factor times their count, keeping the flip
@@ -378,7 +493,9 @@ class Engine {
 
   const Tree& tree_;
   KernelMode mode_;
-  bool simd_ = false;  ///< resolved dispatch for the current run
+  DispatchMode dispatch_;
+  bool simd_ = false;   ///< resolved kernel choice for the current run
+  bool batch_ = false;  ///< resolved dispatch choice for the current run
   std::int64_t round_ = 0;
 
   // Borrowed views of the tree's native CSR, captured at the top of each
@@ -478,6 +595,57 @@ inline void NodeCtx::publish(RegView reg) {
     e.pub_lo_ = std::min(e.pub_lo_, v);
     e.pub_hi_ = std::max(e.pub_hi_, v);
   }
+}
+
+// BatchCtx accessors share the hot-path mirrors with NodeCtx; the
+// single-node writers are exactly the NodeCtx ones with the id made
+// explicit, so both dispatch modes go through one definition of the
+// publish/terminate bookkeeping.
+
+inline std::int64_t BatchCtx::n() const { return engine_.tree_.size(); }
+
+inline std::int64_t BatchCtx::round() const { return engine_.round_; }
+
+inline const Tree& BatchCtx::tree() const { return engine_.tree_; }
+
+inline const std::int32_t* BatchCtx::offsets() const {
+  return engine_.off_;
+}
+
+inline const NodeId* BatchCtx::adjacency() const { return engine_.adj_; }
+
+inline RegView BatchCtx::reg(NodeId u) const {
+  const auto i = static_cast<std::size_t>(u);
+  const int plane = engine_.cur_[i];
+  return {engine_.words_[plane] + i * static_cast<std::size_t>(engine_.cap_),
+          static_cast<std::size_t>(engine_.len_[plane][i])};
+}
+
+inline std::span<const std::uint8_t> BatchCtx::terminated_lane() const {
+  return {engine_.term_, static_cast<std::size_t>(engine_.tree_.size())};
+}
+
+inline std::span<const std::int64_t> BatchCtx::term_round_lane() const {
+  return {engine_.term_round_,
+          static_cast<std::size_t>(engine_.tree_.size())};
+}
+
+inline bool BatchCtx::terminated_visible(NodeId u) const {
+  const auto i = static_cast<std::size_t>(u);
+  return engine_.term_[i] != 0 && engine_.term_round_[i] < engine_.round_;
+}
+
+inline Output BatchCtx::output(NodeId u) const {
+  return engine_.outputs_[static_cast<std::size_t>(u)];
+}
+
+inline void BatchCtx::publish(NodeId v, RegView reg) {
+  NodeCtx ctx(engine_, v);
+  ctx.publish(reg);
+}
+
+inline NodeCtx BatchCtx::node_ctx(NodeId v) {
+  return NodeCtx(engine_, v);
 }
 
 }  // namespace lcl::local

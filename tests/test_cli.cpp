@@ -85,6 +85,20 @@ TEST(CliHardening, UnknownEngineMode) {
   expect_cli_failure({"--engine"}, "lclbench: --engine requires a value");
 }
 
+TEST(CliHardening, DuplicateDispatchFlag) {
+  expect_cli_failure({"--dispatch", "batch", "--dispatch", "pernode"},
+                     "lclbench: duplicate --dispatch");
+}
+
+TEST(CliHardening, UnknownDispatchMode) {
+  expect_cli_failure(
+      {"--dispatch", "vectorized"},
+      "lclbench: --dispatch expects pernode\\|batch\\|auto, got "
+      "'vectorized'");
+  expect_cli_failure({"--dispatch"},
+                     "lclbench: --dispatch requires a value");
+}
+
 TEST(CliHardening, DuplicateValuelessFlags) {
   // The "at most once" contract covers the boolean flags too.
   expect_cli_failure({"--list", "--list"}, "lclbench: duplicate --list");

@@ -198,5 +198,87 @@ TEST(DifferentialFuzz, ScalarSimdLegacyAgreeOnRandomFamilies) {
   }
 }
 
+// Seeded three-way dispatch fuzz: every registered solver on freshly
+// sampled random families, run under BOTH Program↔Engine contracts.
+// The per-node virtual-hook path and the span-level batch-kernel path
+// must agree *bit-identically* (rounds, termination schedule, outputs,
+// node-average down to the ulp) and certify identically through the
+// solver's own checker, and the shared schedule must replay
+// bit-identically on the frozen legacy engine. This is the contract
+// that lets `--dispatch auto` resolve to batch: a batch kernel that
+// drifts from its pinned per-node reference twin fails here on the
+// exact (solver, family, seed) triple.
+TEST(DifferentialFuzz, PerNodeBatchLegacyAgreeOnRandomFamilies) {
+  const std::vector<std::string> families = {"prufer", "galton_watson",
+                                             "caterpillar", "spider"};
+  std::uint64_t seed = 0xD15BA7C4ED;
+  for (int iter = 0; iter < 6; ++iter) {
+    const std::string& family = families[static_cast<std::size_t>(iter) %
+                                         families.size()];
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto n = static_cast<graph::NodeId>(64 + (seed >> 32) % 300);
+
+    for (const std::string& solver_name : algo::solver_names()) {
+      SCOPED_TRACE("solver=" + solver_name + " family=" + family +
+                   " n=" + std::to_string(n) +
+                   " seed=" + std::to_string(seed));
+      const algo::SolverSpec& spec = algo::solver(solver_name);
+      graph::Tree tree =
+          graph::make_family_instance(family, n, seed, /*delta=*/3);
+      algo::prepare_instance(tree, spec.needs, seed);
+      algo::SolverConfig config;
+      config.seed = seed;
+      config.validate(spec);
+
+      // One frozen instance, two dispatch contracts. Each contract gets
+      // its own program instance so seeded per-node state is regenerated
+      // identically rather than shared.
+      const std::unique_ptr<local::Program> pernode_program =
+          spec.factory(tree, config);
+      local::Engine pernode_engine(tree, local::KernelMode::kAuto,
+                                   local::DispatchMode::kPerNode);
+      const local::RunStats pernode_stats =
+          pernode_engine.run(*pernode_program);
+
+      const std::unique_ptr<local::Program> batch_program =
+          spec.factory(tree, config);
+      local::Engine batch_engine(tree, local::KernelMode::kAuto,
+                                 local::DispatchMode::kBatch);
+      const local::RunStats batch_stats =
+          batch_engine.run(*batch_program);
+
+      ASSERT_FALSE(pernode_stats.truncated);
+      EXPECT_EQ(pernode_stats.rounds, batch_stats.rounds);
+      EXPECT_EQ(pernode_stats.total_rounds, batch_stats.total_rounds);
+      EXPECT_EQ(pernode_stats.node_averaged, batch_stats.node_averaged);
+      EXPECT_EQ(pernode_stats.termination_round,
+                batch_stats.termination_round);
+      EXPECT_EQ(pernode_stats.primaries(), batch_stats.primaries());
+      EXPECT_EQ(pernode_stats.secondaries(), batch_stats.secondaries());
+
+      // Certify identically through the solver's own checker binding
+      // (each verdict graded against the program instance that produced
+      // the run).
+      const problems::CheckResult pernode_verdict =
+          spec.certify(tree, *pernode_program, pernode_stats, config);
+      const problems::CheckResult batch_verdict =
+          spec.certify(tree, *batch_program, batch_stats, config);
+      EXPECT_EQ(pernode_verdict.ok, batch_verdict.ok);
+      EXPECT_EQ(pernode_verdict.reason, batch_verdict.reason);
+      EXPECT_TRUE(pernode_verdict.ok) << pernode_verdict.reason;
+
+      // And the schedule both contracts produced replays bit-identically
+      // on the frozen legacy oracle.
+      ReplayProgram replay(pernode_stats.termination_round);
+      bench::legacy::Engine legacy(tree);
+      const bench::legacy::RunStats legacy_stats =
+          legacy.run(replay, pernode_stats.worst_case + 2);
+      EXPECT_EQ(legacy_stats.rounds, pernode_stats.rounds);
+      EXPECT_EQ(legacy_stats.total_rounds, pernode_stats.total_rounds);
+      EXPECT_EQ(replay.observed(), pernode_stats.termination_round);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lcl

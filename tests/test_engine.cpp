@@ -474,6 +474,47 @@ TEST(EngineWorkspace, NestedUseOfOneWorkspaceThrows) {
   EXPECT_EQ(engine.run(ok, ws).worst_case, 0);
 }
 
+TEST(EngineWorkspace, BatchDispatchWarmRunsAreAllocationFree) {
+  // The batched init path fills the reserved alive list in place
+  // (iota + stable compaction) instead of filtering through push_back;
+  // warm reps must stay allocation-free exactly like per-node dispatch,
+  // and produce bit-identical results.
+  Tree t = graph::make_random_tree(600, 4, 99);
+  Engine pernode_engine(t, local::KernelMode::kAuto,
+                        local::DispatchMode::kPerNode);
+  Engine batch_engine(t, local::KernelMode::kAuto,
+                      local::DispatchMode::kBatch);
+  ChurnProgram p;
+  const RunStats reference = pernode_engine.run(p);
+
+  Engine::Workspace ws;
+  const RunStats first = batch_engine.run(p, ws);
+  expect_identical(reference, first);
+  const std::int64_t after_first = ws.alloc_events();
+  EXPECT_GT(after_first, 0);
+
+  RunStats warm;
+  for (int rep = 0; rep < 5; ++rep) {
+    batch_engine.run_into(p, ws, warm);
+    expect_identical(first, warm);
+  }
+  EXPECT_EQ(ws.alloc_events(), after_first);
+}
+
+TEST(EngineWorkspace, NestedUseUnderBatchDispatchThrows) {
+  // The in_use guard must fire on the batched round loop too: the
+  // nested run here is attempted from inside on_round_batch (the
+  // default hook drives on_round), against the same workspace.
+  Tree t = graph::make_path(4);
+  Engine engine(t, local::KernelMode::kAuto, local::DispatchMode::kBatch);
+  Engine::Workspace ws;
+  NestedRun p(ws);
+  EXPECT_THROW(engine.run(p, ws), std::logic_error);
+  // The guard releases on unwind: the workspace is usable again.
+  InstantProgram ok;
+  EXPECT_EQ(engine.run(ok, ws).worst_case, 0);
+}
+
 TEST(EngineWorkspace, TlsWorkspaceIsSticky) {
   Engine::Workspace& ws = local::tls_workspace();
   EXPECT_EQ(&ws, &local::tls_workspace());

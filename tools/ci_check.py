@@ -59,6 +59,9 @@ def check_all(d):
     # Kernel provenance: the resolved --engine choice is always recorded
     # (auto collapses to the widest compiled path before emission).
     assert d["engine"] in ("scalar", "simd"), d.get("engine")
+    # Dispatch provenance (additive to lclbench-v3): the resolved
+    # --dispatch contract is always recorded (auto collapses to batch).
+    assert d["dispatch"] in ("pernode", "batch"), d.get("dispatch")
     bad = [(s["name"], se["title"], r.get("status"))
            for s in d["scenarios"]
            for se in s["series"]

@@ -1,0 +1,223 @@
+// service_sweep — load generator for the lcld service layer.
+//
+// Drives an in-process `service::Server` (the same object lcld wraps)
+// through three phases and records the serving-layer numbers as
+// first-class snapshot metrics (additive lclbench-v3 fields; the
+// compare/history gates do not diff metrics, so the wall-clock entries
+// are safe to track across heterogeneous runners):
+//
+//   1. *Cache-hit phase* (deterministic): a Zipf-skewed repeat-query
+//      mix over `--problems`-capped lclgen seeds, replayed through the
+//      synchronous `handle_line` path on a fresh server, so
+//      `service_hit_rate` = hits / (hits + misses) is exact and
+//      reproducible. The phase also pins the memoization contract the
+//      hammer test asserts under threads: every repeat response must be
+//      byte-identical to its cold response (`service_warm_identical`).
+//   2. *Latency phase* (wall clock): concurrent client threads hammer
+//      `submit` with the same Zipf mix against a prewarmed server;
+//      warm-query p50/p99 latency and aggregate throughput are the
+//      headline serving metrics (`service_warm_p50_ms`,
+//      `service_warm_p99_ms`, `service_throughput_rps`).
+//   3. *Solve phase* (deterministic): a handful of solve round trips —
+//      table-driven bw_generic runs through the server's BatchRunner —
+//      counting certified verdicts (`service_solves_ok`).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "problems/lclgen.hpp"
+#include "scenario.hpp"
+#include "service/server.hpp"
+
+namespace lcl::bench {
+
+namespace {
+
+/// Distinct problems in the query mix. Fixed (not scaled by --n): the
+/// mix's skew, not its universe, is the workload parameter.
+constexpr int kDistinctProblems = 40;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Zipf(s = 1) sampler over ranks [0, n): precomputed CDF, inverted by
+/// a uniform draw from the request index. Rank 0 carries ~23% of the
+/// mass at n = 40, so the mix is dominated by a few hot problems —
+/// the repeat-heavy traffic shape the cache exists for.
+class ZipfMix {
+ public:
+  ZipfMix(int n, std::uint64_t seed) : seed_(seed) {
+    cdf_.reserve(static_cast<std::size_t>(n));
+    double total = 0.0;
+    for (int r = 0; r < n; ++r) {
+      total += 1.0 / static_cast<double>(r + 1);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  [[nodiscard]] int rank(std::uint64_t request_index) const {
+    const std::uint64_t bits = splitmix64(seed_ ^ request_index);
+    const double u =
+        static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int>(it - cdf_.begin());
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<double> cdf_;
+};
+
+std::string classify_line(std::uint64_t problem_seed) {
+  return "{\"type\":\"classify\",\"problem_seed\":" +
+         std::to_string(problem_seed) + "}";
+}
+
+double percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+}  // namespace
+
+void run_service_sweep(ScenarioContext& ctx) {
+  const ScenarioOptions& opts = ctx.opts();
+  const std::vector<problems::BwTable> tables = problems::sample_problems(
+      opts.problem_seed, kDistinctProblems);
+  const ZipfMix mix(static_cast<int>(tables.size()),
+                    splitmix64(opts.seed ^ 0x5e41ull));
+
+  // --- Phase 1: deterministic cache-hit rate over the Zipf mix. ------
+  const std::int64_t requests = ctx.scaled(2000, 200);
+  service::ServerOptions sopts;
+  sopts.cache_bytes = 32ull << 20;
+  sopts.threads = 1;
+  service::Server server(sopts);
+
+  std::vector<std::string> cold(tables.size());
+  std::int64_t identical = 0;
+  std::int64_t repeats = 0;
+  for (std::int64_t i = 0; i < requests; ++i) {
+    const int rank = mix.rank(static_cast<std::uint64_t>(i));
+    const std::string response = server.handle_line(
+        classify_line(tables[static_cast<std::size_t>(rank)].seed));
+    std::string& first = cold[static_cast<std::size_t>(rank)];
+    if (first.empty()) {
+      first = response;
+    } else {
+      ++repeats;
+      if (response == first) ++identical;
+    }
+  }
+  const service::CacheStats cs = server.cache().stats();
+  const double hit_rate =
+      cs.hits + cs.misses == 0
+          ? 0.0
+          : static_cast<double>(cs.hits) /
+                static_cast<double>(cs.hits + cs.misses);
+  ctx.metric("service_requests", static_cast<double>(requests));
+  ctx.metric("service_distinct_problems",
+             static_cast<double>(tables.size()));
+  ctx.metric("service_hit_rate", hit_rate);
+  ctx.metric("service_cache_entries", static_cast<double>(cs.entries));
+  ctx.metric("service_warm_identical",
+             repeats > 0 && identical == repeats ? 1.0 : 0.0);
+
+  // --- Phase 2: concurrent latency/throughput against a warm server. -
+  service::ServerOptions lopts;
+  lopts.cache_bytes = 32ull << 20;
+  lopts.threads = std::max(1, opts.threads);
+  lopts.max_queue = 1 << 16;
+  service::Server latency_server(lopts);
+  for (const problems::BwTable& t : tables) {
+    (void)latency_server.handle_line(classify_line(t.seed));  // prewarm
+  }
+  const int clients = std::max(2, opts.threads);
+  const std::int64_t per_client = ctx.scaled(400, 50);
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<double>& out = latencies[static_cast<std::size_t>(c)];
+        out.reserve(static_cast<std::size_t>(per_client));
+        for (std::int64_t i = 0; i < per_client; ++i) {
+          const int rank = mix.rank(
+              splitmix64(static_cast<std::uint64_t>(c) * 0x10001ull +
+                         static_cast<std::uint64_t>(i)));
+          const auto start = std::chrono::steady_clock::now();
+          latency_server
+              .submit(classify_line(
+                  tables[static_cast<std::size_t>(rank)].seed))
+              .get();
+          out.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  std::vector<double> all;
+  for (const auto& per : latencies) {
+    all.insert(all.end(), per.begin(), per.end());
+  }
+  const double p50 = percentile(all, 0.50);
+  const double p99 = percentile(all, 0.99);
+  const double rps =
+      wall_s > 0.0 ? static_cast<double>(all.size()) / wall_s : 0.0;
+  ctx.metric("service_warm_p50_ms", p50);
+  ctx.metric("service_warm_p99_ms", p99);
+  ctx.metric("service_throughput_rps", rps);
+
+  // --- Phase 3: solve round trips through the server's BatchRunner. --
+  const std::int64_t solve_n = ctx.scaled(2000, 128);
+  std::int64_t solves_ok = 0;
+  const int solve_count = std::min<int>(3, static_cast<int>(tables.size()));
+  for (int i = 0; i < solve_count; ++i) {
+    const std::string line =
+        "{\"type\":\"solve\",\"problem_seed\":" +
+        std::to_string(tables[static_cast<std::size_t>(i)].seed) +
+        ",\"solver\":\"bw_generic\",\"family\":\"path\",\"n\":" +
+        std::to_string(solve_n) + "}";
+    const std::string response = server.handle_line(line);
+    if (response.find("\"certified\":true") != std::string::npos) {
+      ++solves_ok;
+    }
+  }
+  ctx.metric("service_solves_ok", static_cast<double>(solves_ok));
+  ctx.metric("service_solve_requests", static_cast<double>(solve_count));
+
+  std::printf(
+      "service_sweep: %lld requests over %zu problems  hit-rate %.4f  "
+      "identical %lld/%lld\n",
+      static_cast<long long>(requests), tables.size(), hit_rate,
+      static_cast<long long>(identical), static_cast<long long>(repeats));
+  std::printf(
+      "service_sweep: warm latency p50 %.4f ms  p99 %.4f ms  "
+      "throughput %.0f req/s (%d clients x %lld)\n",
+      p50, p99, rps, clients, static_cast<long long>(per_client));
+  std::printf("service_sweep: solve round trips certified %lld/%d\n",
+              static_cast<long long>(solves_ok), solve_count);
+}
+
+}  // namespace lcl::bench

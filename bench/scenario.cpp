@@ -553,6 +553,10 @@ const std::vector<Scenario>& all_scenarios() {
        "problem-space sweep: sampled bw tables classified, solved "
        "through the registry, certified, agreement reported",
        run_problem_sweep},
+      {"service_sweep",
+       "lcld load generator: Zipf repeat-query mix through the service "
+       "layer — cache-hit rate, warm p50/p99 latency, throughput",
+       run_service_sweep},
   };
   return registry;
 }

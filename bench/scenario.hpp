@@ -174,5 +174,6 @@ void run_engine_micro(ScenarioContext& ctx);         // substrate micro
 void run_family_sweep(ScenarioContext& ctx);         // registry coverage
 void run_solver_matrix(ScenarioContext& ctx);        // algo x family matrix
 void run_problem_sweep(ScenarioContext& ctx);        // sampled-LCL sweep
+void run_service_sweep(ScenarioContext& ctx);        // lcld load generator
 
 }  // namespace lcl::bench

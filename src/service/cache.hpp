@@ -1,0 +1,134 @@
+// Sharded concurrent LRU cache of classified problems.
+//
+// The classifier (problems/classify.hpp) is a pure function of the
+// canonical constraint table, so the service layer can memoize it: one
+// `Entry` per label-permutation isomorphism class, keyed by
+// `problems::canonical_key` of the *stripped* table (classification
+// strips inert labels before canonicalizing, so the cache key must
+// too — otherwise a padded table would miss on its own class). An entry
+// is the initialize-once per-problem context the whole daemon amortizes
+// across queries, mirroring ACL's `decompression_context` idiom:
+//
+//   * the canonical `BwTable` (warm solves hand it straight to
+//     `BwGenericProgram` — no resampling, no recanonicalization),
+//   * the full `Classification` plus the rake-closure artifacts
+//     (reachable-set count, infeasibility witness tree),
+//   * the pre-rendered single-line `classify` response body, so a warm
+//     hit is one lookup plus one string concatenation — and a repeated
+//     query's response is byte-identical to the cold one *by
+//     construction* (the cache stores the bytes, not a re-render).
+//
+// Concurrency model: the key space is split over `shards` independent
+// locks (shard = FNV-1a of the key), each shard an intrusive
+// list-+ -map LRU with its own slice of the byte budget. Entries are
+// handed out as `shared_ptr<const Entry>`, so eviction never
+// invalidates a response mid-render. Lookups that miss compute
+// *outside* any lock (classification can take milliseconds) and
+// insert-if-absent afterwards; because classification is deterministic,
+// a racing duplicate compute produces an identical entry and the first
+// insert wins. Hit/miss/eviction counters are lock-free atomics,
+// surfaced through the `info` request and the service_sweep metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "problems/classify.hpp"
+#include "problems/lclgen.hpp"
+
+namespace lcl::service {
+
+/// Counter snapshot of the cache (monotonic except entries/bytes).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One memoized problem: the per-problem context shared by every
+/// request that maps to the same canonical key.
+struct CacheEntry {
+  std::string key;                 ///< problems::canonical_key (stripped)
+  problems::BwTable canonical;     ///< canonical representative table
+  problems::Classification cls;    ///< full landscape prediction
+  problems::TreeTesting testing;   ///< rake-closure artifacts + witness
+  std::string classify_body;       ///< pre-rendered response tail
+  std::size_t bytes = 0;           ///< accounted size (see entry_bytes)
+
+  /// Byte accounting: struct + strings + the witness tree's CSR. The
+  /// witness dominates for unsolvable problems (up to ~2*10^5 nodes).
+  [[nodiscard]] static std::size_t entry_bytes(const CacheEntry& e);
+};
+
+class ProblemCache {
+ public:
+  /// `byte_budget` is split evenly across `shards`; each shard evicts
+  /// its own LRU tail past its slice. A zero budget still caches the
+  /// most recent entry per shard (an insert is never rejected, only
+  /// trimmed after the fact).
+  explicit ProblemCache(std::size_t byte_budget, int shards = 8);
+
+  ProblemCache(const ProblemCache&) = delete;
+  ProblemCache& operator=(const ProblemCache&) = delete;
+
+  /// Looks up `key`, refreshing its LRU position. Counts a hit or miss.
+  [[nodiscard]] std::shared_ptr<const CacheEntry> lookup(
+      const std::string& key);
+
+  /// Inserts `entry` (keyed by entry->key) unless an entry with the
+  /// same key already exists — the resident entry wins, so racing
+  /// duplicate computes converge on one context. Trims the shard's LRU
+  /// tail past its byte-budget slice. Returns the resident entry.
+  std::shared_ptr<const CacheEntry> insert(
+      std::shared_ptr<const CacheEntry> entry);
+
+  /// The memoization workhorse: strip + canonicalize `table`, look the
+  /// key up, and on a miss classify (outside any lock) and insert. The
+  /// returned entry is immutable and safe to hold across evictions.
+  std::shared_ptr<const CacheEntry> get_or_compute(
+      const problems::BwTable& table);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recent. The map points into the list.
+    std::list<std::shared_ptr<const CacheEntry>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::shared_ptr<const CacheEntry>>::iterator>
+        index;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key);
+
+  std::size_t byte_budget_;
+  std::size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// Renders the shared single-line `classify` response tail for an
+/// entry (everything after the request id): `"ok":true,...`. Lives
+/// here so the cache can pre-render it at compute time; the protocol
+/// layer (protocol.hpp) wraps it with the envelope.
+[[nodiscard]] std::string render_classify_body(
+    const std::string& key, const problems::BwTable& canonical,
+    const problems::Classification& cls,
+    const problems::TreeTesting& testing);
+
+}  // namespace lcl::service

@@ -13,10 +13,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/generic_hier.hpp"
 #include "algo/registry.hpp"
+#include "graph/builders.hpp"
 #include "graph/families.hpp"
 #include "legacy_engine.hpp"
 #include "local/engine.hpp"
+#include "problems/checkers.hpp"
+#include "problems/levels.hpp"
 
 namespace lcl {
 namespace {
@@ -277,6 +281,88 @@ TEST(DifferentialFuzz, PerNodeBatchLegacyAgreeOnRandomFamilies) {
       EXPECT_EQ(legacy_stats.total_rounds, pernode_stats.total_rounds);
       EXPECT_EQ(replay.observed(), pernode_stats.termination_round);
     }
+  }
+}
+
+// Dedicated heavy generic_hier case for its batch-kernel port: the
+// registry fuzz above only drives solvers at their default configs, so
+// the k-hierarchical program's interesting machinery — the Exempt rules
+// between phases, multi-gamma wave schedules, the level-k Cole-Vishkin
+// reduction with a virtual-log* pad — never fires there. Here both
+// variants run at k = 2 and k = 3 with explicit gamma profiles on
+// structured lower-bound instances and random trees; per-node and batch
+// dispatch must agree bit-identically, the coloring must pass the
+// paper's hierarchical checker, and the shared schedule must replay
+// bit-identically on the frozen legacy engine.
+TEST(DifferentialFuzz, GenericHierHeavyPerNodeBatchLegacyAgree) {
+  struct HierCase {
+    std::string label;
+    graph::Tree tree;
+    problems::Variant variant;
+    int k;
+    std::vector<std::int64_t> gammas;
+    std::int64_t pad;
+  };
+  std::vector<HierCase> cases;
+  cases.push_back({"lower_bound_25_k2",
+                   graph::make_hierarchical_lower_bound({6, 40}).tree,
+                   problems::Variant::kTwoHalf, 2, {5}, 0});
+  cases.push_back({"lower_bound_35_k3",
+                   graph::make_hierarchical_lower_bound({5, 6, 14}).tree,
+                   problems::Variant::kThreeHalf, 3, {4, 4}, 60});
+  cases.push_back({"random_25_k3", graph::make_random_tree(520, 4, 77),
+                   problems::Variant::kTwoHalf, 3, {4, 8}, 0});
+  cases.push_back({"random_35_k2", graph::make_random_tree(480, 4, 91),
+                   problems::Variant::kThreeHalf, 2, {6}, 40});
+
+  std::uint64_t id_seed = 1337;
+  for (HierCase& c : cases) {
+    SCOPED_TRACE("case=" + c.label + " k=" + std::to_string(c.k));
+    graph::assign_ids(c.tree, graph::IdScheme::kShuffled, id_seed++);
+    const std::vector<int> levels = problems::compute_levels(c.tree, c.k);
+
+    algo::GenericOptions options;
+    options.variant = c.variant;
+    options.k = c.k;
+    options.gammas = c.gammas;
+    options.symmetry_pad = c.pad;
+
+    algo::GenericHierProgram pernode_program(c.tree, options, levels);
+    local::Engine pernode_engine(c.tree, local::KernelMode::kAuto,
+                                 local::DispatchMode::kPerNode);
+    const local::RunStats pernode_stats =
+        pernode_engine.run(pernode_program);
+
+    algo::GenericHierProgram batch_program(c.tree, options, levels);
+    local::Engine batch_engine(c.tree, local::KernelMode::kAuto,
+                               local::DispatchMode::kBatch);
+    const local::RunStats batch_stats = batch_engine.run(batch_program);
+
+    ASSERT_FALSE(pernode_stats.truncated);
+    EXPECT_EQ(pernode_stats.rounds, batch_stats.rounds);
+    EXPECT_EQ(pernode_stats.total_rounds, batch_stats.total_rounds);
+    EXPECT_EQ(pernode_stats.node_averaged, batch_stats.node_averaged);
+    EXPECT_EQ(pernode_stats.termination_round,
+              batch_stats.termination_round);
+    EXPECT_EQ(pernode_stats.primaries(), batch_stats.primaries());
+    EXPECT_EQ(pernode_stats.secondaries(), batch_stats.secondaries());
+
+    // Both runs produced the same output; grade it once through the
+    // paper's own checker.
+    const problems::CheckResult verdict =
+        problems::check_hierarchical_coloring(c.tree, c.k, c.variant,
+                                              pernode_stats.primaries());
+    EXPECT_TRUE(verdict.ok) << verdict.reason;
+
+    // And the shared schedule replays bit-identically on the frozen
+    // legacy oracle.
+    ReplayProgram replay(pernode_stats.termination_round);
+    bench::legacy::Engine legacy(c.tree);
+    const bench::legacy::RunStats legacy_stats =
+        legacy.run(replay, pernode_stats.worst_case + 2);
+    EXPECT_EQ(legacy_stats.rounds, pernode_stats.rounds);
+    EXPECT_EQ(legacy_stats.total_rounds, pernode_stats.total_rounds);
+    EXPECT_EQ(replay.observed(), pernode_stats.termination_round);
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <numeric>
 
 #include "bw/tree_problem.hpp"
@@ -279,6 +280,79 @@ TEST(ClassifyProperty, PinnedMinimalTables) {
   EXPECT_EQ(problems::canonical_key(swapped), problems::canonical_key(t));
   EXPECT_EQ(problems::classify_table(swapped).predicted,
             ProblemClass::kConstant);
+}
+
+// ---------------------------------------------------------------------------
+// canonical_key as a cache identity. The lcld problem cache keys every
+// entry by canonical_key(strip_unused_labels(table)) — two requests
+// share an entry iff their keys match — so the key must be stable
+// across the table encodings of one problem (permutation, post-strip
+// padding), must never collide across distinct canonical tables, and
+// its rendered format is a wire contract (classify responses and
+// persisted snapshots carry it verbatim).
+// ---------------------------------------------------------------------------
+
+bool violates_key_stability(const BwTable& t) {
+  const std::string base =
+      problems::canonical_key(problems::strip_unused_labels(t));
+  std::vector<int> perm(static_cast<std::size_t>(t.alphabet));
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    const BwTable p =
+        problems::strip_unused_labels(problems::permute_table(t, perm));
+    if (problems::canonical_key(p) != base) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  // Padding adds only unused labels, so stripping undoes it exactly and
+  // the cache key cannot depend on the alphabet headroom.
+  if (t.alphabet < problems::kMaxAlphabet) {
+    const BwTable padded =
+        problems::strip_unused_labels(problems::pad_table(t, 1));
+    if (problems::canonical_key(padded) != base) return true;
+  }
+  return false;
+}
+
+TEST(CanonicalKeyProperty, StableUnderPermutationAndPaddingAfterStrip) {
+  fuzz_invariance(violates_key_stability, "canonical-key stability");
+}
+
+TEST(CanonicalKeyProperty, DistinctCanonicalTablesNeverShareAKey) {
+  // Keys and canonical tables must be 1:1 over a large mixed sample: a
+  // collision would make the service cache answer with the wrong
+  // problem's classification, a split would duplicate entries.
+  std::map<std::string, BwTable> seen;
+  const auto check = [&](const BwTable& raw) {
+    const BwTable stripped = problems::strip_unused_labels(raw);
+    const BwTable canon = problems::canonical_table(stripped);
+    const std::string key = problems::canonical_key(stripped);
+    // The key reads through canonicalization: the canonical
+    // representative renders the same key as any table in its orbit.
+    EXPECT_EQ(problems::canonical_key(canon), key);
+    const auto [it, inserted] = seen.emplace(key, canon);
+    if (!inserted) {
+      EXPECT_EQ(it->second, canon) << "key collision on " << key;
+    }
+  };
+  for (int i = 0; i < 400; ++i) {
+    check(problems::sample_table(problems::problem_sub_seed(0xC011, i)));
+  }
+  for (const BwTable& t : problems::sample_problems(9, 40)) check(t);
+  EXPECT_GT(seen.size(), 50u);
+}
+
+TEST(CanonicalKeyProperty, RenderedFormatIsPinned) {
+  // Exact literals pinned: lcld classify responses echo these keys and
+  // cache entries persist under them, so a format change here is a wire
+  // break, not a refactor.
+  EXPECT_EQ(problems::canonical_key(
+                problems::strip_unused_labels(problems::sample_table(42))),
+            "a2d3:3:3:7");
+  EXPECT_EQ(problems::canonical_key(problems::edge_coloring_table(3, 3)),
+            "a3d3:7:16:10");
+  EXPECT_EQ(problems::canonical_key(problems::two_coloring_table(3)),
+            "a2d3:3:2:f");
+  EXPECT_EQ(problems::canonical_key(problems::free_table(2, 3)),
+            "a2d3:3:7:f");
 }
 
 // ---------------------------------------------------------------------------

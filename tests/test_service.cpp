@@ -1,0 +1,394 @@
+// Service-layer suite: the ProblemCache contract (sharded LRU,
+// byte-budget eviction, counters), the protocol's typed error taxonomy,
+// the admission queue's backpressure and timeout behavior, and the
+// cache-hit determinism contract — identical requests produce
+// byte-identical responses regardless of thread interleaving (the
+// response carries no per-request state beyond the echoed id, and warm
+// hits replay the cold response's stored bytes).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/json.hpp"
+#include "problems/lclgen.hpp"
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace lcl {
+namespace {
+
+using core::json::Value;
+using problems::BwTable;
+using service::CacheStats;
+using service::ProblemCache;
+using service::Server;
+using service::ServerOptions;
+
+Value parse(const std::string& response) {
+  return core::json::parse(response);
+}
+
+std::string classify_line(std::uint64_t seed) {
+  return "{\"type\":\"classify\",\"problem_seed\":" +
+         std::to_string(seed) + "}";
+}
+
+// ---------------------------------------------------------------------------
+// ProblemCache.
+// ---------------------------------------------------------------------------
+
+TEST(ProblemCache, CountsHitsAndMisses) {
+  ProblemCache cache(1 << 20);
+  const BwTable t = problems::sample_table(7);
+  const auto cold = cache.get_or_compute(t);
+  const auto warm = cache.get_or_compute(t);
+  ASSERT_NE(cold, nullptr);
+  EXPECT_EQ(cold.get(), warm.get());  // same resident entry
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(ProblemCache, PermutedAndPaddedTablesShareOneEntry) {
+  ProblemCache cache(1 << 20);
+  const BwTable t = problems::edge_coloring_table(3, 3);
+  const auto base = cache.get_or_compute(t);
+  const auto permuted =
+      cache.get_or_compute(problems::permute_table(t, {2, 0, 1}));
+  const auto padded = cache.get_or_compute(problems::pad_table(t, 1));
+  EXPECT_EQ(base.get(), permuted.get());
+  EXPECT_EQ(base.get(), padded.get());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 2u);
+}
+
+TEST(ProblemCache, EvictsLeastRecentlyUsedPastByteBudget) {
+  // A one-byte budget on a single shard: every insert displaces the
+  // previous resident (an oversized singleton stays until displaced).
+  ProblemCache cache(1, /*shards=*/1);
+  const std::vector<BwTable> tables = problems::sample_problems(1, 6);
+  ASSERT_GE(tables.size(), 3u);
+  std::vector<std::string> keys;
+  for (const BwTable& t : tables) {
+    keys.push_back(cache.get_or_compute(t)->key);
+  }
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, tables.size() - 1);
+  // Only the most recent key is resident.
+  EXPECT_EQ(cache.lookup(keys.front()), nullptr);
+  EXPECT_NE(cache.lookup(keys.back()), nullptr);
+}
+
+TEST(ProblemCache, EvictionOrderFollowsTouchRecencyNotInsertion) {
+  // Synthetic entries with pinned byte costs make the order exact: a
+  // budget of 100 holds two 40-byte entries; touching "a" makes "b"
+  // the LRU victim when "c" arrives.
+  const auto make = [](const std::string& key, std::size_t bytes) {
+    auto e = std::make_shared<service::CacheEntry>();
+    e->key = key;
+    e->bytes = bytes;
+    return e;
+  };
+  ProblemCache cache(100, /*shards=*/1);
+  cache.insert(make("a", 40));
+  cache.insert(make("b", 40));
+  ASSERT_NE(cache.lookup("a"), nullptr);  // refresh: "b" is now LRU
+  cache.insert(make("c", 40));
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  EXPECT_NE(cache.lookup("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol errors.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceProtocol, MalformedJsonIsBadJson) {
+  Server server(ServerOptions{});
+  const Value v = parse(server.handle_line("this is not json"));
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_EQ(v.get_string("error", ""), "bad_json");
+}
+
+TEST(ServiceProtocol, UnknownTypeIsTyped) {
+  Server server(ServerOptions{});
+  const Value v =
+      parse(server.handle_line("{\"type\":\"frobnicate\",\"id\":4}"));
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_EQ(v.get_string("error", ""), "unknown_type");
+  EXPECT_EQ(v.get_number("id", -1), 4);  // id echoed on errors too
+}
+
+TEST(ServiceProtocol, ClassifyNeedsExactlyOneSelector) {
+  Server server(ServerOptions{});
+  EXPECT_EQ(parse(server.handle_line("{\"type\":\"classify\"}"))
+                .get_string("error", ""),
+            "bad_request");
+  EXPECT_EQ(parse(server.handle_line(
+                      "{\"type\":\"classify\",\"problem_seed\":1,"
+                      "\"problem\":\"free\"}"))
+                .get_string("error", ""),
+            "bad_request");
+}
+
+TEST(ServiceProtocol, OversizedTableIsRejected) {
+  Server server(ServerOptions{});
+  const Value v = parse(server.handle_line(
+      "{\"type\":\"classify\",\"table\":{\"alphabet\":9,"
+      "\"max_degree\":3,\"allowed\":[1,1,1]}}"));
+  EXPECT_EQ(v.get_string("error", ""), "oversized_table");
+  const Value deep = parse(server.handle_line(
+      "{\"type\":\"classify\",\"table\":{\"alphabet\":2,"
+      "\"max_degree\":9,\"allowed\":[1,1,1,1,1,1,1,1,1]}}"));
+  EXPECT_EQ(deep.get_string("error", ""), "oversized_table");
+}
+
+TEST(ServiceProtocol, StrayMaskBitsAreBadRequest) {
+  Server server(ServerOptions{});
+  // Degree-1 over alphabet 2 has exactly 2 multisets; bit 2 is invalid.
+  const Value v = parse(server.handle_line(
+      "{\"type\":\"classify\",\"table\":{\"alphabet\":2,"
+      "\"max_degree\":1,\"allowed\":[4]}}"));
+  EXPECT_EQ(v.get_string("error", ""), "bad_request");
+}
+
+TEST(ServiceProtocol, UnknownSolverAndFamilyAreTyped) {
+  Server server(ServerOptions{});
+  EXPECT_EQ(parse(server.handle_line(
+                      "{\"type\":\"solve\",\"solver\":\"nope\"}"))
+                .get_string("error", ""),
+            "unknown_solver");
+  EXPECT_EQ(parse(server.handle_line(
+                      "{\"type\":\"solve\",\"family\":\"nope\"}"))
+                .get_string("error", ""),
+            "unknown_family");
+}
+
+TEST(ServiceProtocol, UndeclaredSolverOptionIsBadRequest) {
+  Server server(ServerOptions{});
+  const Value v = parse(server.handle_line(
+      "{\"type\":\"solve\",\"problem_seed\":0,\"n\":64,"
+      "\"options\":{\"frob\":3}}"));
+  EXPECT_EQ(v.get_string("error", ""), "bad_request");
+}
+
+TEST(ServiceProtocol, IdIsEchoedWhenPresentAndOmittedWhenNot) {
+  Server server(ServerOptions{});
+  const std::string with_id =
+      server.handle_line("{\"type\":\"info\",\"id\":123}");
+  EXPECT_EQ(with_id.rfind("{\"id\":123,", 0), 0u);
+  const std::string without_id = server.handle_line("{\"type\":\"info\"}");
+  EXPECT_EQ(without_id.rfind("{\"ok\":true", 0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceRoundTrip, RepeatedClassifyIsServedFromCacheByteIdentical) {
+  Server server(ServerOptions{});
+  const std::string line =
+      "{\"type\":\"classify\",\"id\":1,\"problem_seed\":42}";
+  const std::string cold = server.handle_line(line);
+  const std::uint64_t hits_before = server.cache().stats().hits;
+  const std::string warm = server.handle_line(line);
+  EXPECT_EQ(cold, warm);  // byte-identical, id included
+  EXPECT_EQ(server.cache().stats().hits, hits_before + 1);
+
+  const Value v = parse(cold);
+  EXPECT_TRUE(v.get_bool("ok", false));
+  EXPECT_EQ(v.get_string("type", ""), "classify");
+  EXPECT_FALSE(v.get_string("key", "").empty());
+  const std::string predicted = v.get_string("predicted", "");
+  EXPECT_TRUE(predicted == "O(1)" || predicted == "log*-range" ||
+              predicted == "Theta(log n)" || predicted == "unsolvable")
+      << predicted;
+  ASSERT_NE(v.find("region"), nullptr);
+  EXPECT_FALSE(v.find("region")->get_string("range", "").empty());
+}
+
+TEST(ServiceRoundTrip, NamedProblemClassifies) {
+  Server server(ServerOptions{});
+  const Value v = parse(server.handle_line(
+      "{\"type\":\"classify\",\"problem\":\"edge_coloring\"}"));
+  EXPECT_TRUE(v.get_bool("ok", false));
+  EXPECT_EQ(parse(server.handle_line(
+                      "{\"type\":\"classify\",\"problem\":\"nope\"}"))
+                .get_string("error", ""),
+            "bad_request");
+}
+
+TEST(ServiceRoundTrip, SolveRunsAndCertifies) {
+  Server server(ServerOptions{});
+  const Value v = parse(server.handle_line(
+      "{\"type\":\"solve\",\"id\":9,\"problem_seed\":0,"
+      "\"solver\":\"bw_generic\",\"family\":\"path\",\"n\":256,"
+      "\"seed\":3}"));
+  EXPECT_TRUE(v.get_bool("ok", false));
+  EXPECT_EQ(v.get_string("type", ""), "solve");
+  EXPECT_EQ(v.get_string("status", ""), "ok");
+  EXPECT_TRUE(v.get_bool("certified", false));
+  EXPECT_EQ(v.get_number("n", 0), 256);
+  EXPECT_FALSE(v.get_string("key", "").empty());
+  EXPECT_GE(v.get_number("term_p99", -1), 0);
+  // The solve warmed the problem cache: the matching classify hits.
+  const std::uint64_t hits_before = server.cache().stats().hits;
+  (void)server.handle_line(classify_line(0));
+  EXPECT_EQ(server.cache().stats().hits, hits_before + 1);
+}
+
+TEST(ServiceRoundTrip, InfoReportsCounters) {
+  Server server(ServerOptions{});
+  (void)server.handle_line(classify_line(42));
+  (void)server.handle_line(classify_line(42));
+  const Value v = parse(server.handle_line("{\"type\":\"info\"}"));
+  EXPECT_TRUE(v.get_bool("ok", false));
+  EXPECT_EQ(v.get_string("type", ""), "info");
+  EXPECT_GE(v.get_number("uptime_ms", -1), 0.0);
+  EXPECT_EQ(v.get_number("cache_hits", -1), 1);
+  EXPECT_EQ(v.get_number("cache_misses", -1), 1);
+  EXPECT_EQ(v.get_number("cache_entries", -1), 1);
+  EXPECT_GE(v.get_number("threads", 0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue: backpressure, timeout, drain.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceQueue, RejectsBeyondMaxQueueWithOverloaded) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+
+  ServerOptions opts;
+  opts.threads = 1;
+  opts.max_queue = 1;
+  opts.before_execute = [&] {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  Server server(opts);
+
+  // First request: dequeued by the only worker, parked in the hook.
+  auto first = server.submit(classify_line(1));
+  while (entered.load() == 0) std::this_thread::yield();
+  // Second request: fills the queue (depth 1).
+  auto second = server.submit(classify_line(2));
+  // Third: over the depth — rejected immediately, without blocking.
+  auto third = server.submit(classify_line(3));
+  ASSERT_EQ(third.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const Value rejected = parse(third.get());
+  EXPECT_FALSE(rejected.get_bool("ok", true));
+  EXPECT_EQ(rejected.get_string("error", ""), "overloaded");
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(parse(first.get()).get_bool("ok", false));
+  EXPECT_TRUE(parse(second.get()).get_bool("ok", false));
+}
+
+TEST(ServiceQueue, ZeroTimeoutExpiresEveryQueuedRequest) {
+  ServerOptions opts;
+  opts.threads = 1;
+  opts.timeout_ms = 0.0;  // expired the moment a worker dequeues it
+  Server server(opts);
+  const Value v = parse(server.submit(classify_line(1)).get());
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_EQ(v.get_string("error", ""), "timeout");
+}
+
+TEST(ServiceQueue, DrainStopsAdmissionAndFinishesQueuedWork) {
+  ServerOptions opts;
+  opts.threads = 2;
+  Server server(opts);
+  auto pending = server.submit(classify_line(5));
+  server.drain();
+  EXPECT_TRUE(parse(pending.get()).get_bool("ok", false));
+  const Value after = parse(server.submit(classify_line(6)).get());
+  EXPECT_EQ(after.get_string("error", ""), "overloaded");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: cache-hit determinism under interleaving.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceHammer, IdenticalRequestsGetByteIdenticalResponses) {
+  ServerOptions opts;
+  opts.threads = 4;
+  opts.max_queue = 4096;
+  Server server(opts);
+
+  // Four distinct problems, hammered by eight clients through both
+  // entry points. Identical request lines (no id) must produce
+  // byte-identical responses no matter which thread computed the cold
+  // entry or how lookups interleaved with evict-free inserts.
+  const std::vector<std::uint64_t> seeds = {0, 42, 1234, 98765};
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 32;
+
+  std::vector<std::vector<std::string>> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::uint64_t seed =
+            seeds[static_cast<std::size_t>((c + i) % 4)];
+        const std::string line = classify_line(seed);
+        std::string response = (c + i) % 2 == 0
+                                   ? server.handle_line(line)
+                                   : server.submit(line).get();
+        responses[static_cast<std::size_t>(c)].push_back(
+            std::move(response));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Group by the request that produced each response (reconstructable
+  // from the deterministic (c, i) schedule) and assert equality.
+  std::map<std::uint64_t, std::string> canonical;
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      const std::uint64_t seed =
+          seeds[static_cast<std::size_t>((c + i) % 4)];
+      const std::string& got =
+          responses[static_cast<std::size_t>(c)][static_cast<std::size_t>(
+              i)];
+      auto [it, inserted] = canonical.emplace(seed, got);
+      if (!inserted) {
+        ASSERT_EQ(got, it->second) << "seed " << seed;
+      }
+    }
+  }
+
+  const CacheStats s = server.cache().stats();
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(s.entries, seeds.size());
+}
+
+}  // namespace
+}  // namespace lcl

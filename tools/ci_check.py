@@ -9,6 +9,7 @@ and identical across workflows):
     ci_check.py matrix   smoke_matrix.json    solver-matrix coverage
     ci_check.py problems smoke_problems.json  sweep agreement + certification
     ci_check.py all      smoke_all.json       full-registry run validity
+    ci_check.py service  responses.jsonl      lcld replay of the pinned script
 
 Exit status: 0 when every assertion holds, 1 with a message otherwise.
 Run locally with e.g.:
@@ -74,10 +75,40 @@ def check_all(d):
     print(f"{len(d['scenarios'])} scenarios, all runs valid")
 
 
+def check_service(lines):
+    """lcld --stdio replay of tests/golden/service_smoke.jsonl: one
+    response line per request line, in order. The script sends the same
+    classify twice (the second must be served from cache byte-identically),
+    an info probe (which must see that hit), a solve that must certify,
+    and two malformed lines that must map to their typed errors."""
+    rs = [json.loads(line) for line in lines]
+    assert len(rs) == 6, f"expected 6 response lines, got {len(rs)}"
+    assert lines[0] == lines[1], \
+        f"repeated classify not byte-identical:\n{lines[0]}\n{lines[1]}"
+    classify = rs[0]
+    assert classify["ok"] and classify["type"] == "classify", classify
+    assert classify["id"] == 1 and classify["key"], classify
+    assert classify["predicted"], classify
+    info = rs[2]
+    assert info["ok"] and info["type"] == "info", info
+    assert info["cache_hits"] >= 1, info
+    assert info["cache_entries"] >= 1, info
+    solve = rs[3]
+    assert solve["ok"] and solve["type"] == "solve", solve
+    assert solve["certified"] is True, solve
+    assert solve["key"] == classify["key"], (solve, classify)
+    assert not rs[4]["ok"] and rs[4]["error"] == "unknown_type", rs[4]
+    assert rs[4]["id"] == 4, rs[4]
+    assert not rs[5]["ok"] and rs[5]["error"] == "bad_json", rs[5]
+    assert "id" not in rs[5], rs[5]
+    print(f"6/6 service responses ok, cache_hits={int(info['cache_hits'])}")
+
+
 CHECKS = {
     "matrix": check_matrix,
     "problems": check_problems,
     "all": check_all,
+    "service": check_service,
 }
 
 
@@ -89,7 +120,11 @@ def main(argv):
         return 1
     try:
         with open(argv[2]) as f:
-            d = json.load(f)
+            if argv[1] == "service":
+                # Line-delimited responses, not one JSON document.
+                d = [line.rstrip("\n") for line in f if line.strip()]
+            else:
+                d = json.load(f)
         CHECKS[argv[1]](d)
     except (OSError, ValueError, KeyError, AssertionError) as e:
         print(f"ci_check {argv[1]}: FAILED: {e!r}", file=sys.stderr)

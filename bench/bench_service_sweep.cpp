@@ -21,7 +21,26 @@
 //   3. *Solve phase* (deterministic): a handful of solve round trips —
 //      table-driven bw_generic runs through the server's BatchRunner —
 //      counting certified verdicts (`service_solves_ok`).
+//   4. *TCP phase* (wall clock): real multi-client traffic through the
+//      poll-based transport supervisor on a loopback TCP listener.
+//      Every client replays the same warm mix twice — serial (one
+//      request on the wire at a time, the pre-supervisor behavior) and
+//      pipelined (windows of kTcpWindow requests in flight per
+//      connection) — recording both throughputs, their ratio
+//      (`service_tcp_speedup`, the pipelining win), per-connection
+//      fairness (slowest/fastest client throughput over the serial
+//      pass), and whether every TCP reply was byte-identical to the
+//      in-process `handle_line` reply (`service_tcp_identical`, the
+//      cross-transport determinism contract).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -33,6 +52,7 @@
 #include "problems/lclgen.hpp"
 #include "scenario.hpp"
 #include "service/server.hpp"
+#include "service/transport.hpp"
 
 namespace lcl::bench {
 
@@ -81,6 +101,48 @@ class ZipfMix {
 std::string classify_line(std::uint64_t problem_seed) {
   return "{\"type\":\"classify\",\"problem_seed\":" +
          std::to_string(problem_seed) + "}";
+}
+
+/// Per-connection pipeline window of the TCP phase (client and server
+/// side agree, so a full client window never overruns the supervisor's
+/// in-flight bound into its backlog).
+constexpr int kTcpWindow = 32;
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Blocking line read over `fd`, buffered in `buf` across calls.
+bool read_response_line(int fd, std::string& buf, std::string& line) {
+  for (;;) {
+    const std::size_t newline = buf.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buf, 0, newline);
+      buf.erase(0, newline + 1);
+      return true;
+    }
+    char chunk[8192];
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buf.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return false;
+  }
 }
 
 double percentile(std::vector<double> sorted_ms, double p) {
@@ -207,6 +269,131 @@ void run_service_sweep(ScenarioContext& ctx) {
   ctx.metric("service_solves_ok", static_cast<double>(solves_ok));
   ctx.metric("service_solve_requests", static_cast<double>(solve_count));
 
+  // --- Phase 4: multi-client TCP, pipelined vs serial round trips. ---
+  service::ServerOptions nopts;
+  nopts.cache_bytes = 32ull << 20;
+  nopts.threads = std::max(2, opts.threads);
+  nopts.max_queue = 1 << 16;
+  service::Server net_server(nopts);
+  service::TransportOptions topts;
+  topts.tcp_host = "127.0.0.1";
+  topts.tcp_port = 0;  // ephemeral: the bench never collides
+  topts.max_conns = 64;
+  topts.pipeline_depth = kTcpWindow;
+  service::Transport transport(net_server, topts);
+  transport.listen_now();
+  transport.start();
+
+  // Prewarm + reference replies: the request lines carry no id, so the
+  // TCP replies must be byte-identical to the in-process ones.
+  std::vector<std::string> expected(tables.size());
+  for (std::size_t r = 0; r < tables.size(); ++r) {
+    expected[r] = net_server.handle_line(classify_line(tables[r].seed));
+  }
+
+  const int tcp_clients = std::max(2, std::min(8, opts.threads));
+  const std::int64_t per_tcp_client = ctx.scaled(3000, 120);
+  std::atomic<std::int64_t> mismatches{0};
+  std::atomic<std::int64_t> io_failures{0};
+
+  const auto client_pass = [&](int client, std::int64_t window) {
+    const int fd = connect_loopback(transport.port());
+    if (fd < 0) {
+      io_failures.fetch_add(per_tcp_client);
+      return;
+    }
+    std::string inbuf;
+    std::string line;
+    std::string batch;
+    for (std::int64_t i = 0; i < per_tcp_client; i += window) {
+      const std::int64_t count =
+          std::min<std::int64_t>(window, per_tcp_client - i);
+      batch.clear();
+      std::vector<int> ranks;
+      ranks.reserve(static_cast<std::size_t>(count));
+      for (std::int64_t j = 0; j < count; ++j) {
+        const int rank = mix.rank(splitmix64(
+            static_cast<std::uint64_t>(client) * 0x7f4a7c15ull +
+            static_cast<std::uint64_t>(i + j)));
+        ranks.push_back(rank);
+        batch += classify_line(tables[static_cast<std::size_t>(rank)].seed);
+        batch += '\n';
+      }
+      if (!service::write_fully(fd, batch)) {
+        io_failures.fetch_add(count);
+        break;
+      }
+      for (std::int64_t j = 0; j < count; ++j) {
+        if (!read_response_line(fd, inbuf, line)) {
+          io_failures.fetch_add(count - j);
+          break;
+        }
+        if (line !=
+            expected[static_cast<std::size_t>(
+                ranks[static_cast<std::size_t>(j)])]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }
+    ::close(fd);
+  };
+
+  const auto run_pass = [&](std::int64_t window,
+                            std::vector<double>* client_wall_s) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(tcp_clients));
+    if (client_wall_s != nullptr) {
+      client_wall_s->assign(static_cast<std::size_t>(tcp_clients), 0.0);
+    }
+    const auto pass_t0 = std::chrono::steady_clock::now();
+    for (int c = 0; c < tcp_clients; ++c) {
+      threads.emplace_back([&, c] {
+        const auto c_t0 = std::chrono::steady_clock::now();
+        client_pass(c, window);
+        if (client_wall_s != nullptr) {
+          (*client_wall_s)[static_cast<std::size_t>(c)] =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - c_t0)
+                  .count();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         pass_t0)
+        .count();
+  };
+
+  const double total_requests =
+      static_cast<double>(tcp_clients) *
+      static_cast<double>(per_tcp_client);
+  std::vector<double> serial_walls;
+  const double serial_s = run_pass(/*window=*/1, &serial_walls);
+  const double pipelined_s = run_pass(kTcpWindow, nullptr);
+  const double serial_rps = serial_s > 0.0 ? total_requests / serial_s : 0.0;
+  const double pipelined_rps =
+      pipelined_s > 0.0 ? total_requests / pipelined_s : 0.0;
+  const double speedup = serial_rps > 0.0 ? pipelined_rps / serial_rps : 0.0;
+  const double wall_min =
+      *std::min_element(serial_walls.begin(), serial_walls.end());
+  const double wall_max =
+      *std::max_element(serial_walls.begin(), serial_walls.end());
+  // Every client ran the same request count, so the slowest/fastest
+  // throughput ratio is the inverse wall ratio; 1.0 = perfectly fair.
+  const double fairness = wall_max > 0.0 ? wall_min / wall_max : 0.0;
+  transport.stop();
+  const service::TransportStats ts = transport.stats();
+
+  ctx.metric("service_tcp_clients", static_cast<double>(tcp_clients));
+  ctx.metric("service_tcp_requests", 2.0 * total_requests);
+  ctx.metric("service_tcp_serial_rps", serial_rps);
+  ctx.metric("service_tcp_pipelined_rps", pipelined_rps);
+  ctx.metric("service_tcp_speedup", speedup);
+  ctx.metric("service_tcp_fairness", fairness);
+  ctx.metric("service_tcp_identical",
+             mismatches.load() == 0 && io_failures.load() == 0 ? 1.0 : 0.0);
+  ctx.metric("service_tcp_conns", static_cast<double>(ts.accepted));
+
   std::printf(
       "service_sweep: %lld requests over %zu problems  hit-rate %.4f  "
       "identical %lld/%lld\n",
@@ -218,6 +405,13 @@ void run_service_sweep(ScenarioContext& ctx) {
       p50, p99, rps, clients, static_cast<long long>(per_client));
   std::printf("service_sweep: solve round trips certified %lld/%d\n",
               static_cast<long long>(solves_ok), solve_count);
+  std::printf(
+      "service_sweep: tcp %d clients x %lld  serial %.0f req/s  "
+      "pipelined(%d) %.0f req/s  speedup %.2fx  fairness %.2f  "
+      "identical %s\n",
+      tcp_clients, static_cast<long long>(per_tcp_client), serial_rps,
+      kTcpWindow, pipelined_rps, speedup, fairness,
+      mismatches.load() == 0 && io_failures.load() == 0 ? "yes" : "NO");
 }
 
 }  // namespace lcl::bench

@@ -76,6 +76,11 @@ std::string Server::handle_line(const std::string& line) {
 }
 
 std::future<std::string> Server::submit(std::string line) {
+  return submit(std::move(line), std::function<void()>());
+}
+
+std::future<std::string> Server::submit(std::string line,
+                                        std::function<void()> on_done) {
   std::promise<std::string> done;
   std::future<std::string> fut = done.get_future();
   const char* reject = nullptr;
@@ -88,6 +93,7 @@ std::future<std::string> Server::submit(std::string line) {
       reject = "admission queue full";
     } else {
       queue_.push_back(Pending{std::move(line), std::move(done),
+                               std::move(on_done),
                                std::chrono::steady_clock::now()});
     }
   }
@@ -99,6 +105,7 @@ std::future<std::string> Server::submit(std::string line) {
         false, 0, ErrorCode::kOverloaded,
         std::string(reject) + " (depth " + std::to_string(opts_.max_queue) +
             ")"));
+    if (on_done) on_done();  // rejection completes inline
   } else {
     queue_cv_.notify_one();
   }
@@ -132,6 +139,7 @@ void Server::worker_loop() {
       response = handle_line(item.line);
     }
     item.done.set_value(std::move(response));
+    if (item.notify) item.notify();
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       --in_flight_;

@@ -89,6 +89,16 @@ class Server {
   /// line (rejections resolve immediately).
   [[nodiscard]] std::future<std::string> submit(std::string line);
 
+  /// Admission with a completion hook: `on_done` runs (on the worker
+  /// thread, or inline for immediate rejections) after the returned
+  /// future's value is set. This is the non-blocking contract the
+  /// poll-based transport supervisor needs — it parks in poll() and the
+  /// hook wakes it through a self-pipe, instead of a thread blocking in
+  /// future::get per connection. The hook must be cheap and noexcept in
+  /// spirit: it runs inside the serving path.
+  [[nodiscard]] std::future<std::string> submit(
+      std::string line, std::function<void()> on_done);
+
   /// Stop admitting, finish everything queued/in flight. Idempotent.
   void drain();
 
@@ -99,6 +109,7 @@ class Server {
   struct Pending {
     std::string line;
     std::promise<std::string> done;
+    std::function<void()> notify;  ///< runs after done.set_value
     std::chrono::steady_clock::time_point admitted;
   };
 

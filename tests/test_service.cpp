@@ -5,11 +5,28 @@
 // byte-identical responses regardless of thread interleaving (the
 // response carries no per-request state beyond the echoed id, and warm
 // hits replay the cold response's stored bytes).
+// The transport suite at the bottom drives the poll-based connection
+// supervisor (service/transport.*) over real loopback TCP and Unix
+// sockets: pipelined ordering, per-connection flow control (write-
+// backlog stall/resume, in-flight window), the --max-conns rejection
+// path, connection churn resource bounds, and the regression tests for
+// the pre-supervisor I/O bugs (EINTR-as-fatal writes, SIGPIPE death on
+// a vanished client, dropped final line without a trailing newline).
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <mutex>
@@ -22,6 +39,7 @@
 #include "service/cache.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "service/transport.hpp"
 
 namespace lcl {
 namespace {
@@ -388,6 +406,566 @@ TEST(ServiceHammer, IdenticalRequestsGetByteIdenticalResponses) {
   EXPECT_EQ(s.hits + s.misses,
             static_cast<std::uint64_t>(kClients * kPerClient));
   EXPECT_EQ(s.entries, seeds.size());
+}
+
+// ---------------------------------------------------------------------------
+// Transport supervisor: TCP/Unix sockets, pipelining, flow control.
+// ---------------------------------------------------------------------------
+
+using service::Transport;
+using service::TransportOptions;
+using service::TransportStats;
+
+int tcp_connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Tests must fail visibly, not hang: bounded reads.
+  timeval timeout{30, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  return fd;
+}
+
+int unix_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Blocking buffered line read; false on EOF/error/timeout.
+bool read_line(int fd, std::string& buf, std::string& line) {
+  for (;;) {
+    const std::size_t newline = buf.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buf, 0, newline);
+      buf.erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buf.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool send_all(int fd, const std::string& data) {
+  return service::write_fully(fd, data);
+}
+
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ServiceTransport, ParseHostportAcceptsValidRejectsMalformed) {
+  std::string host;
+  int port = -1;
+  EXPECT_TRUE(service::parse_hostport("127.0.0.1:8080", host, port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  EXPECT_TRUE(service::parse_hostport("localhost:0", host, port));
+  EXPECT_EQ(port, 0);
+  EXPECT_FALSE(service::parse_hostport("no-port", host, port));
+  EXPECT_FALSE(service::parse_hostport(":123", host, port));
+  EXPECT_FALSE(service::parse_hostport("host:", host, port));
+  EXPECT_FALSE(service::parse_hostport("host:abc", host, port));
+  EXPECT_FALSE(service::parse_hostport("host:70000", host, port));
+}
+
+TEST(ServiceTransport, TcpConcurrentClientsGetByteIdenticalWarmReplies) {
+  ServerOptions sopts;
+  sopts.threads = 2;
+  Server server(sopts);
+  TransportOptions topts;
+  topts.tcp_host = "127.0.0.1";
+  Transport transport(server, topts);
+  transport.listen_now();
+  transport.start();
+
+  const std::vector<std::uint64_t> seeds = {0, 42, 1234};
+  std::map<std::uint64_t, std::string> expected;
+  for (const std::uint64_t s : seeds) {
+    expected[s] = server.handle_line(classify_line(s));  // prewarm
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 16;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = tcp_connect(transport.port());
+      ASSERT_GE(fd, 0);
+      std::string buf;
+      std::string line;
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::uint64_t seed =
+            seeds[static_cast<std::size_t>((c + i) % seeds.size())];
+        ASSERT_TRUE(send_all(fd, classify_line(seed) + "\n"));
+        ASSERT_TRUE(read_line(fd, buf, line));
+        if (line != expected[seed]) mismatches.fetch_add(1);
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  transport.stop();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(transport.stats().accepted, static_cast<std::uint64_t>(kClients));
+}
+
+TEST(ServiceTransport, PipelinedRequestsComeBackInRequestOrder) {
+  ServerOptions sopts;
+  sopts.threads = 4;  // responses complete out of order server-side
+  Server server(sopts);
+  TransportOptions topts;
+  topts.tcp_host = "127.0.0.1";
+  topts.pipeline_depth = 8;  // smaller than the burst: window recycles
+  Transport transport(server, topts);
+  transport.listen_now();
+  transport.start();
+
+  constexpr int kBurst = 32;
+  const std::vector<std::uint64_t> seeds = {0, 42, 1234, 98765};
+  std::string batch;
+  std::vector<std::string> expected;
+  for (int i = 1; i <= kBurst; ++i) {
+    const std::string line =
+        "{\"type\":\"classify\",\"id\":" + std::to_string(i) +
+        ",\"problem_seed\":" +
+        std::to_string(seeds[static_cast<std::size_t>(i) % seeds.size()]) +
+        "}";
+    expected.push_back(server.handle_line(line));
+    batch += line;
+    batch += '\n';
+  }
+
+  const int fd = tcp_connect(transport.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, batch));  // the whole burst in one write
+  std::string buf;
+  std::string line;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(read_line(fd, buf, line)) << "response " << i;
+    EXPECT_EQ(line, expected[static_cast<std::size_t>(i)])
+        << "response " << i << " out of order";
+  }
+  ::close(fd);
+  transport.stop();
+  EXPECT_EQ(transport.stats().lines_in, static_cast<std::uint64_t>(kBurst));
+}
+
+TEST(ServiceTransport, WriteBacklogStallsReadsAndResumes) {
+  ServerOptions sopts;
+  sopts.threads = 2;
+  Server server(sopts);
+  TransportOptions topts;
+  topts.tcp_host = "127.0.0.1";
+  topts.pipeline_depth = 64;
+  topts.max_backlog_bytes = 256;  // tiny: one warm reply overflows it
+  topts.sndbuf_bytes = 1;         // clamped to the kernel minimum
+  topts.poll_ms = 20;
+  Transport transport(server, topts);
+  transport.listen_now();
+  transport.start();
+
+  const std::string request = classify_line(42);
+  const std::string expected = server.handle_line(request);  // prewarm
+
+  // Pipeline a burst whose responses exceed what the shrunken kernel
+  // buffers can absorb, then refuse to read for a while: the supervisor
+  // must park the connection (bounded backlog, reads paused) instead of
+  // buffering every rendered response.
+  constexpr int kBurst = 64;
+  std::string batch;
+  for (int i = 0; i < kBurst; ++i) batch += request + "\n";
+  const int fd = tcp_connect(transport.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, batch));
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  const TransportStats stalled = transport.stats();
+  EXPECT_GE(stalled.read_pauses, 1u) << "reads never paused";
+  EXPECT_LE(stalled.peak_backlog_bytes,
+            topts.max_backlog_bytes + expected.size() + 1)
+      << "backlog not bounded";
+
+  // Drain: every response arrives, byte-identical, and the connection
+  // resumes for a follow-up request.
+  std::string buf;
+  std::string line;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(read_line(fd, buf, line)) << "response " << i;
+    EXPECT_EQ(line, expected);
+  }
+  ASSERT_TRUE(send_all(fd, request + "\n"));
+  ASSERT_TRUE(read_line(fd, buf, line));
+  EXPECT_EQ(line, expected);
+  ::close(fd);
+  transport.stop();
+  EXPECT_EQ(transport.stats().responses_out,
+            static_cast<std::uint64_t>(kBurst + 1));
+}
+
+TEST(ServiceTransport, MaxConnsRejectsExtraConnectionsWithTypedError) {
+  ServerOptions sopts;
+  sopts.threads = 1;
+  Server server(sopts);
+  TransportOptions topts;
+  topts.tcp_host = "127.0.0.1";
+  topts.max_conns = 2;
+  topts.poll_ms = 20;
+  Transport transport(server, topts);
+  transport.listen_now();
+  transport.start();
+
+  const std::string request = classify_line(0);
+  const std::string expected = server.handle_line(request);
+
+  // Two resident connections, both verified live.
+  int held[2];
+  std::string bufs[2];
+  std::string line;
+  for (int i = 0; i < 2; ++i) {
+    held[i] = tcp_connect(transport.port());
+    ASSERT_GE(held[i], 0);
+    ASSERT_TRUE(send_all(held[i], request + "\n"));
+    ASSERT_TRUE(read_line(held[i], bufs[i], line));
+    EXPECT_EQ(line, expected);
+  }
+
+  // The third is answered with one `overloaded` line and closed.
+  const int extra = tcp_connect(transport.port());
+  ASSERT_GE(extra, 0);
+  std::string extra_buf;
+  ASSERT_TRUE(read_line(extra, extra_buf, line));
+  const Value rejected = parse(line);
+  EXPECT_FALSE(rejected.get_bool("ok", true));
+  EXPECT_EQ(rejected.get_string("error", ""), "overloaded");
+  char byte;
+  EXPECT_EQ(::recv(extra, &byte, 1, 0), 0) << "rejected conn not closed";
+  ::close(extra);
+
+  // Freeing a slot re-opens admission.
+  ::close(held[0]);
+  bool admitted = false;
+  for (int attempt = 0; attempt < 100 && !admitted; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const int fd = tcp_connect(transport.port());
+    ASSERT_GE(fd, 0);
+    std::string buf;
+    ASSERT_TRUE(send_all(fd, request + "\n"));
+    ASSERT_TRUE(read_line(fd, buf, line));
+    if (parse(line).get_bool("ok", false)) {
+      EXPECT_EQ(line, expected);
+      admitted = true;
+    }
+    ::close(fd);
+  }
+  EXPECT_TRUE(admitted) << "slot never freed after close";
+  ::close(held[1]);
+  transport.stop();
+  EXPECT_GE(transport.stats().rejected_at_capacity, 1u);
+}
+
+TEST(ServiceTransport, FinalLineWithoutTrailingNewlineIsServedAtEof) {
+  // Regression: the pre-supervisor loop silently dropped a final
+  // request that arrived without '\n' before EOF.
+  ServerOptions sopts;
+  sopts.threads = 1;
+  Server server(sopts);
+  TransportOptions topts;
+  topts.tcp_host = "127.0.0.1";
+  Transport transport(server, topts);
+  transport.listen_now();
+  transport.start();
+
+  const std::string request = classify_line(42);
+  const std::string expected = server.handle_line(request);
+
+  const int fd = tcp_connect(transport.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, request));  // no trailing newline
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  std::string buf;
+  std::string line;
+  ASSERT_TRUE(read_line(fd, buf, line)) << "residual line dropped at EOF";
+  EXPECT_EQ(line, expected);
+  EXPECT_FALSE(read_line(fd, buf, line));  // then EOF
+  ::close(fd);
+
+  // Mixed form: complete lines plus an unterminated final one.
+  const int fd2 = tcp_connect(transport.port());
+  ASSERT_GE(fd2, 0);
+  ASSERT_TRUE(send_all(fd2, request + "\n" + request));
+  ASSERT_EQ(::shutdown(fd2, SHUT_WR), 0);
+  std::string buf2;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(read_line(fd2, buf2, line)) << "response " << i;
+    EXPECT_EQ(line, expected);
+  }
+  ::close(fd2);
+  transport.stop();
+}
+
+TEST(ServiceTransport, ClientVanishingMidReplyDoesNotKillTheDaemon) {
+  // Regression for the SIGPIPE hole: a client that disconnects before
+  // its response is written must cost only its own connection. Without
+  // MSG_NOSIGNAL the daemon thread would take SIGPIPE (default: process
+  // death — this test dies with it).
+  ServerOptions sopts;
+  sopts.threads = 2;
+  Server server(sopts);
+  TransportOptions topts;
+  topts.tcp_host = "127.0.0.1";
+  topts.poll_ms = 20;
+  Transport transport(server, topts);
+  transport.listen_now();
+  transport.start();
+
+  const std::string request = classify_line(42);
+  const std::string expected = server.handle_line(request);
+
+  for (int i = 0; i < 16; ++i) {
+    const int fd = tcp_connect(transport.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(send_all(fd, request + "\n" + request + "\n"));
+    ::close(fd);  // vanish before reading either response
+  }
+
+  // The daemon is still alive and serving.
+  const int fd = tcp_connect(transport.port());
+  ASSERT_GE(fd, 0);
+  std::string buf;
+  std::string line;
+  ASSERT_TRUE(send_all(fd, request + "\n"));
+  ASSERT_TRUE(read_line(fd, buf, line));
+  EXPECT_EQ(line, expected);
+  ::close(fd);
+  transport.stop();
+}
+
+TEST(ServiceTransport, ConnectionChurnKeepsResourcesBounded) {
+  // Regression for the unreaped thread-per-connection vector: a
+  // long-lived daemon serving many short connections must not
+  // accumulate per-connection resources. The supervisor owns no
+  // threads, so the bound is file descriptors.
+  ServerOptions sopts;
+  sopts.threads = 1;
+  Server server(sopts);
+  TransportOptions topts;
+  topts.tcp_host = "127.0.0.1";
+  topts.poll_ms = 20;
+  Transport transport(server, topts);
+  transport.listen_now();
+  transport.start();
+
+  const std::string request = classify_line(0);
+  const std::string expected = server.handle_line(request);
+
+  constexpr int kChurn = 1500;
+  const std::size_t fds_before = open_fd_count();
+  std::string line;
+  for (int i = 0; i < kChurn; ++i) {
+    const int fd = tcp_connect(transport.port());
+    ASSERT_GE(fd, 0) << "connect " << i;
+    std::string buf;
+    ASSERT_TRUE(send_all(fd, request + "\n"));
+    ASSERT_TRUE(read_line(fd, buf, line)) << "connection " << i;
+    ASSERT_EQ(line, expected);
+    ::close(fd);
+  }
+  // Give the supervisor a tick to reap the last EOFs.
+  for (int i = 0; i < 100 && transport.stats().open_conns > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const TransportStats ts = transport.stats();
+  EXPECT_EQ(ts.accepted, static_cast<std::uint64_t>(kChurn));
+  EXPECT_EQ(ts.open_conns, 0u);
+  EXPECT_LE(ts.peak_conns, 4u);  // sequential clients never pile up
+  const std::size_t fds_after = open_fd_count();
+  EXPECT_LE(fds_after, fds_before + 4) << "fd leak across churn";
+  transport.stop();
+}
+
+TEST(ServiceTransport, UnixSocketRepliesMatchTcpByteForByte) {
+  // One server, both transports: the response bytes are a function of
+  // the request alone, never of the transport that carried it.
+  ServerOptions sopts;
+  sopts.threads = 2;
+  Server server(sopts);
+  const std::string socket_path = "test_service_transport.sock";
+  TransportOptions uopts;
+  uopts.unix_path = socket_path;
+  Transport unix_transport(server, uopts);
+  unix_transport.listen_now();
+  unix_transport.start();
+  TransportOptions topts;
+  topts.tcp_host = "127.0.0.1";
+  Transport tcp_transport(server, topts);
+  tcp_transport.listen_now();
+  tcp_transport.start();
+
+  const std::vector<std::uint64_t> seeds = {0, 42, 1234};
+  for (const std::uint64_t seed : seeds) {
+    const std::string request = classify_line(seed);
+    const std::string inproc = server.handle_line(request);
+
+    const int ufd = unix_connect(socket_path);
+    ASSERT_GE(ufd, 0);
+    std::string ubuf;
+    std::string uline;
+    ASSERT_TRUE(send_all(ufd, request + "\n"));
+    ASSERT_TRUE(read_line(ufd, ubuf, uline));
+    ::close(ufd);
+
+    const int tfd = tcp_connect(tcp_transport.port());
+    ASSERT_GE(tfd, 0);
+    std::string tbuf;
+    std::string tline;
+    ASSERT_TRUE(send_all(tfd, request + "\n"));
+    ASSERT_TRUE(read_line(tfd, tbuf, tline));
+    ::close(tfd);
+
+    EXPECT_EQ(uline, inproc) << "unix reply diverges, seed " << seed;
+    EXPECT_EQ(tline, inproc) << "tcp reply diverges, seed " << seed;
+  }
+  unix_transport.stop();
+  tcp_transport.stop();
+  std::filesystem::remove(socket_path);
+}
+
+TEST(ServiceTransport, OversizedUnframedLineIsRejectedNotBuffered) {
+  ServerOptions sopts;
+  sopts.threads = 1;
+  Server server(sopts);
+  TransportOptions topts;
+  topts.tcp_host = "127.0.0.1";
+  topts.poll_ms = 20;
+  Transport transport(server, topts);
+  transport.listen_now();
+  transport.start();
+
+  const int fd = tcp_connect(transport.port());
+  ASSERT_GE(fd, 0);
+  // Stream > kMaxLineBytes with no newline: typed rejection, then EOF.
+  const std::string blob(1 << 16, 'x');
+  bool write_ok = true;
+  for (std::size_t sent = 0; sent <= service::kMaxLineBytes && write_ok;
+       sent += blob.size()) {
+    write_ok = send_all(fd, blob);
+  }
+  std::string buf;
+  std::string line;
+  ASSERT_TRUE(read_line(fd, buf, line));
+  const Value v = parse(line);
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_EQ(v.get_string("error", ""), "bad_request");
+  ::close(fd);
+  transport.stop();
+}
+
+// ---------------------------------------------------------------------------
+// I/O helpers: the EINTR regression.
+// ---------------------------------------------------------------------------
+
+namespace eintr_test {
+std::atomic<int> signals_taken{0};
+void on_usr1(int) { signals_taken.fetch_add(1); }
+}  // namespace eintr_test
+
+TEST(ServiceIo, WriteFullyRetriesAcrossEintr) {
+  // Regression: the pre-supervisor `write_all` treated any `got <= 0`
+  // as fatal, so an EINTR — e.g. from the daemon's own SIGTERM-drain
+  // signal — dropped the connection mid-response. `write_fully` must
+  // ride out interrupts and deliver every byte.
+  //
+  // Install a no-SA_RESTART handler so blocked writes really do return
+  // EINTR, then pepper a writer blocked on a full socket with signals
+  // while the reader drains slowly.
+  struct sigaction sa{};
+  sa.sa_handler = eintr_test::on_usr1;
+  sa.sa_flags = 0;  // no SA_RESTART: syscalls fail with EINTR
+  sigemptyset(&sa.sa_mask);
+  struct sigaction old{};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int min_buf = 1;  // clamped up to the kernel minimum
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &min_buf, sizeof(min_buf));
+
+  std::string blob(1 << 20, '\0');
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<char>('a' + (i % 26));
+  }
+
+  std::atomic<bool> write_ok{false};
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    write_ok.store(service::write_fully(fds[0], blob));
+    writer_done.store(true);
+  });
+  const pthread_t writer_handle = writer.native_handle();
+
+  std::string received;
+  received.reserve(blob.size());
+  char chunk[1024];  // small reads keep the writer blocked often
+  eintr_test::signals_taken.store(0);
+  while (received.size() < blob.size()) {
+    if (!writer_done.load()) pthread_kill(writer_handle, SIGUSR1);
+    const ssize_t got = ::recv(fds[1], chunk, sizeof(chunk), 0);
+    ASSERT_GT(got, 0) << "writer hung up early";
+    received.append(chunk, static_cast<std::size_t>(got));
+  }
+  writer.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  sigaction(SIGUSR1, &old, nullptr);
+
+  EXPECT_TRUE(write_ok.load()) << "write_fully failed under EINTR";
+  EXPECT_EQ(received, blob) << "bytes lost or reordered across EINTR";
+  EXPECT_GT(eintr_test::signals_taken.load(), 0)
+      << "test never actually interrupted the writer";
+}
+
+TEST(ServiceIo, WriteFullyReportsRealErrors) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  // Writing into a closed peer: EPIPE, no SIGPIPE, clean false.
+  std::string data(1 << 16, 'x');
+  bool ok = true;
+  for (int i = 0; i < 8 && ok; ++i) ok = service::write_fully(fds[0], data);
+  EXPECT_FALSE(ok);
+  ::close(fds[0]);
 }
 
 }  // namespace

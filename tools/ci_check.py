@@ -10,6 +10,14 @@ and identical across workflows):
     ci_check.py problems smoke_problems.json  sweep agreement + certification
     ci_check.py all      smoke_all.json       full-registry run validity
     ci_check.py service  responses.jsonl      lcld replay of the pinned script
+    ci_check.py service-tcp ./build/lcld tests/golden/service_smoke.jsonl
+                                              same replay over TCP (pipelined)
+
+`service-tcp` is self-contained: it launches the given lcld binary on an
+ephemeral TCP port, sends the whole pinned script as one pipelined burst
+(exercising the transport supervisor's in-flight window and ordered
+write backlog), validates the responses with the same assertions as
+`service`, then SIGTERMs the daemon and requires a clean drain (exit 0).
 
 Exit status: 0 when every assertion holds, 1 with a message otherwise.
 Run locally with e.g.:
@@ -20,6 +28,10 @@ Run locally with e.g.:
 """
 
 import json
+import re
+import signal
+import socket
+import subprocess
 import sys
 
 
@@ -104,6 +116,42 @@ def check_service(lines):
     print(f"6/6 service responses ok, cache_hits={int(info['cache_hits'])}")
 
 
+def check_service_tcp(lcld_path, script_path):
+    """End-to-end TCP replay: launch lcld on an ephemeral port, send the
+    pinned script as ONE pipelined burst over a single connection (the
+    responses must still come back in request order), validate with the
+    same assertions as the stdio replay, then SIGTERM-drain."""
+    proc = subprocess.Popen(
+        [lcld_path, "--tcp", "127.0.0.1:0", "--threads", "2"],
+        stderr=subprocess.PIPE, text=True)
+    try:
+        announce = proc.stderr.readline()
+        m = re.search(r"tcp://[0-9.]+:(\d+)", announce)
+        assert m, f"no endpoint announcement on stderr: {announce!r}"
+        port = int(m.group(1))
+        with open(script_path, "rb") as f:
+            requests = [l for l in f.read().splitlines() if l.strip()]
+        conn = socket.create_connection(("127.0.0.1", port), timeout=30)
+        conn.settimeout(30)
+        conn.sendall(b"".join(r + b"\n" for r in requests))
+        buf = b""
+        while buf.count(b"\n") < len(requests):
+            chunk = conn.recv(1 << 16)
+            assert chunk, "daemon closed the connection mid-replay"
+            buf += chunk
+        conn.close()
+        check_service([l.decode() for l in buf.splitlines()])
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0, \
+            f"lcld did not drain cleanly: exit {proc.returncode}"
+        print(f"tcp replay ok: pipelined burst of {len(requests)} "
+              "requests, ordered responses, clean SIGTERM drain")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
 CHECKS = {
     "matrix": check_matrix,
     "problems": check_problems,
@@ -113,9 +161,18 @@ CHECKS = {
 
 
 def main(argv):
+    if len(argv) == 4 and argv[1] == "service-tcp":
+        try:
+            check_service_tcp(argv[2], argv[3])
+        except (OSError, ValueError, KeyError, AssertionError,
+                subprocess.TimeoutExpired) as e:
+            print(f"ci_check service-tcp: FAILED: {e!r}", file=sys.stderr)
+            return 1
+        return 0
     if len(argv) != 3 or argv[1] not in CHECKS:
         subs = "|".join(sorted(CHECKS))
-        print(f"usage: {argv[0]} {{{subs}}} <snapshot.json>",
+        print(f"usage: {argv[0]} {{{subs}}} <snapshot.json>\n"
+              f"       {argv[0]} service-tcp <lcld> <script.jsonl>",
               file=sys.stderr)
         return 1
     try:

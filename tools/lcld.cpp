@@ -1,35 +1,30 @@
 // lcld — the classification-as-a-service daemon.
 //
-// Serves the line-delimited JSON protocol of src/service/ in one of two
-// transports:
+// Serves the line-delimited JSON protocol of src/service/ in one of
+// three transports:
 //
 //   * --stdio (default): one request per stdin line, one response per
 //     stdout line, in order. This is the pipe mode CI and the tests
 //     drive (`lcld --stdio < requests.jsonl > responses.jsonl`); EOF
 //     drains and exits 0.
-//   * --socket PATH: a Unix stream socket. Each connection gets a
-//     reader thread; its requests go through the server's bounded
-//     admission queue (`Server::submit`), so a burst beyond
-//     --max-queue is answered `overloaded` instead of ballooning
-//     memory. Responses are written back in request order per
-//     connection.
+//   * --socket PATH: a Unix stream socket.
+//   * --tcp HOST:PORT: a TCP listener (PORT 0 = ephemeral; the resolved
+//     endpoint is announced on stderr as `tcp://HOST:PORT`).
 //
-// SIGTERM/SIGINT trigger a graceful drain: stop accepting input,
-// finish everything queued and in flight, exit 0.
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
+// The socket transports share one poll-based connection supervisor
+// (service/transport.*): up to --max-conns concurrent connections, each
+// with line framing, a --pipeline-deep in-flight request window through
+// the server's bounded admission queue (responses in request order),
+// and a bounded per-connection write backlog — a client that stops
+// reading stalls only its own connection. SIGTERM/SIGINT trigger a
+// graceful drain: stop accepting input, finish everything queued and
+// in flight, exit 0.
 #include <csignal>
-#include <cstring>
 #include <iostream>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "service/server.hpp"
+#include "service/transport.hpp"
 
 namespace {
 
@@ -39,10 +34,16 @@ void on_signal(int) { g_stop = 1; }
 
 int usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " [--stdio | --socket PATH] [options]\n"
+      << "usage: " << argv0
+      << " [--stdio | --socket PATH | --tcp HOST:PORT] [options]\n"
       << "  --stdio           serve stdin/stdout, one JSON line each way"
          " (default)\n"
       << "  --socket PATH     serve a Unix stream socket at PATH\n"
+      << "  --tcp HOST:PORT   serve a TCP listener (PORT 0 ="
+         " ephemeral)\n"
+      << "  --max-conns N     concurrent connection cap (default 256)\n"
+      << "  --pipeline N      per-connection in-flight request window"
+         " (default 32)\n"
       << "  --cache-mb N      problem-cache byte budget in MiB"
          " (default 64)\n"
       << "  --threads N       worker threads (default 1)\n"
@@ -62,90 +63,12 @@ int run_stdio(lcl::service::Server& server) {
   return 0;
 }
 
-bool write_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t got =
-        ::write(fd, data.data() + sent, data.size() - sent);
-    if (got <= 0) return false;
-    sent += static_cast<std::size_t>(got);
-  }
-  return true;
-}
-
-void serve_connection(int fd, lcl::service::Server& server) {
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
-    if (got <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(got));
-    std::size_t newline = 0;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (line.empty()) continue;
-      // Through the bounded queue: backpressure applies per daemon,
-      // not per connection. .get() keeps per-connection responses in
-      // request order.
-      const std::string response =
-          server.submit(std::move(line)).get() + "\n";
-      if (!write_all(fd, response)) {
-        ::close(fd);
-        return;
-      }
-    }
-  }
-  ::close(fd);
-}
-
-int run_socket(lcl::service::Server& server, const std::string& path) {
-  sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::cerr << "lcld: socket path too long: " << path << "\n";
-    return 1;
-  }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::cerr << "lcld: socket(): " << std::strerror(errno) << "\n";
-    return 1;
-  }
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  ::unlink(path.c_str());  // stale socket from a previous run
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(fd, 64) != 0) {
-    std::cerr << "lcld: bind/listen " << path << ": "
-              << std::strerror(errno) << "\n";
-    ::close(fd);
-    return 1;
-  }
-  std::cerr << "lcld: listening on " << path << "\n";
-
-  std::vector<std::thread> connections;
-  while (g_stop == 0) {
-    pollfd waiter{fd, POLLIN, 0};
-    const int ready = ::poll(&waiter, 1, 200);  // wake to check g_stop
-    if (ready <= 0) continue;
-    const int conn = ::accept(fd, nullptr, nullptr);
-    if (conn < 0) continue;
-    connections.emplace_back(
-        [conn, &server] { serve_connection(conn, server); });
-  }
-  ::close(fd);
-  ::unlink(path.c_str());
-  for (auto& t : connections) t.join();
-  server.drain();
-  return 0;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   bool stdio = true;
-  std::string socket_path;
   lcl::service::ServerOptions opts;
+  lcl::service::TransportOptions topts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -154,7 +77,21 @@ int main(int argc, char** argv) {
       stdio = true;
     } else if (arg == "--socket" && has_value) {
       stdio = false;
-      socket_path = argv[++i];
+      topts.unix_path = argv[++i];
+      topts.tcp_host.clear();
+    } else if (arg == "--tcp" && has_value) {
+      stdio = false;
+      topts.unix_path.clear();
+      if (!lcl::service::parse_hostport(argv[++i], topts.tcp_host,
+                                        topts.tcp_port)) {
+        std::cerr << "lcld: --tcp expects HOST:PORT, got \"" << argv[i]
+                  << "\"\n";
+        return 2;
+      }
+    } else if (arg == "--max-conns" && has_value) {
+      topts.max_conns = std::stoi(argv[++i]);
+    } else if (arg == "--pipeline" && has_value) {
+      topts.pipeline_depth = std::stoi(argv[++i]);
     } else if (arg == "--cache-mb" && has_value) {
       opts.cache_bytes =
           static_cast<std::size_t>(std::stoll(argv[++i])) << 20;
@@ -172,12 +109,20 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
 #ifdef SIGPIPE
-  std::signal(SIGPIPE, SIG_IGN);  // a dropped connection is not fatal
+  // Belt and braces: the transport writes with MSG_NOSIGNAL, but
+  // nothing else in the process should die to a dropped peer either.
+  std::signal(SIGPIPE, SIG_IGN);
 #endif
 
   try {
     lcl::service::Server server(opts);
-    return stdio ? run_stdio(server) : run_socket(server, socket_path);
+    if (stdio) return run_stdio(server);
+    lcl::service::Transport transport(server, topts);
+    transport.listen_now();
+    std::cerr << "lcld: listening on " << transport.endpoint() << "\n";
+    const int rc = transport.run(&g_stop);
+    server.drain();
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "lcld: " << e.what() << "\n";
     return 1;
